@@ -1,0 +1,131 @@
+// Google-benchmark microbenchmarks for the engine primitives: event loop
+// throughput, flow-table lookup, partitioning, projection, deadlock
+// analysis, and end-to-end packet forwarding. These bound how large an
+// experiment the substrate can carry (events/second is the simulator's
+// currency).
+#include <benchmark/benchmark.h>
+
+#include "controller/controller.hpp"
+#include "partition/partitioner.hpp"
+#include "projection/link_projector.hpp"
+#include "routing/deadlock.hpp"
+#include "routing/shortest_path.hpp"
+#include "sim/builder.hpp"
+#include "sim/transport.hpp"
+#include "topo/generators.hpp"
+
+namespace {
+
+using namespace sdt;
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sim.schedule(i % 1000, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(10000)->Arg(100000);
+
+void BM_FlowTableLookup(benchmark::State& state) {
+  openflow::FlowTable table(4096);
+  const int entries = static_cast<int>(state.range(0));
+  for (int i = 0; i < entries; ++i) {
+    openflow::FlowEntry e;
+    e.priority = 100;
+    e.match.inPort = i % 48;
+    e.match.dstAddr = static_cast<std::uint32_t>(i);
+    e.actions = {openflow::Action::output(i % 48)};
+    (void)table.add(std::move(e));
+  }
+  openflow::PacketHeader h;
+  h.inPort = entries % 48;
+  h.dstAddr = static_cast<std::uint32_t>(entries - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(h, 1000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowTableLookup)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_PartitionDragonfly(benchmark::State& state) {
+  const topo::Topology topo = topo::makeDragonfly(4, 9, 2);
+  const topo::Graph g = topo.switchGraph();
+  for (auto _ : state) {
+    partition::PartitionOptions opt;
+    opt.parts = static_cast<int>(state.range(0));
+    auto r = partition::partitionGraph(g, opt);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_PartitionDragonfly)->Arg(2)->Arg(3);
+
+void BM_LinkProjection(benchmark::State& state) {
+  const topo::Topology topo = topo::makeDragonfly(4, 9, 2);
+  auto plant = projection::planPlant(
+      {&topo}, {.numSwitches = 3, .spec = projection::openflow128x100G()});
+  if (!plant.ok()) {
+    state.SkipWithError("plant planning failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto proj = projection::LinkProjector::project(topo, plant.value());
+    benchmark::DoNotOptimize(proj.ok());
+  }
+}
+BENCHMARK(BM_LinkProjection);
+
+void BM_DeployFlowTables(benchmark::State& state) {
+  const topo::Topology topo = topo::makeFatTree(4);
+  routing::ShortestPathRouting routing(topo);
+  auto plant = projection::planPlant(
+      {&topo}, {.numSwitches = 2, .spec = projection::openflow128x100G()});
+  if (!plant.ok()) {
+    state.SkipWithError("plant planning failed");
+    return;
+  }
+  controller::SdtController ctl(plant.value());
+  for (auto _ : state) {
+    auto dep = ctl.deploy(topo, routing, {.requireDeadlockFree = false});
+    benchmark::DoNotOptimize(dep.ok());
+  }
+}
+BENCHMARK(BM_DeployFlowTables);
+
+void BM_DeadlockAnalysisTorus(benchmark::State& state) {
+  const topo::Topology topo = topo::makeTorus3D(4, 4, 4);
+  auto algo = routing::makeRouting("torus-clue", topo);
+  if (!algo.ok()) {
+    state.SkipWithError("routing construction failed");
+    return;
+  }
+  for (auto _ : state) {
+    const auto report = routing::analyzeDeadlock(topo, *algo.value());
+    benchmark::DoNotOptimize(report.deadlockFree);
+  }
+}
+BENCHMARK(BM_DeadlockAnalysisTorus);
+
+void BM_PacketForwardingEndToEnd(benchmark::State& state) {
+  // Messages across a line-4 fabric: measures full data-plane event cost.
+  const topo::Topology topo = topo::makeLine(4);
+  routing::ShortestPathRouting routing(topo);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    auto built = sim::buildLogicalNetwork(sim, topo, routing, {});
+    sim::TransportManager transport(sim, *built.net, {});
+    transport.sendMessage(0, 3, 64 * 1024, 0, {});
+    sim.run();
+    benchmark::DoNotOptimize(sim.eventsProcessed());
+  }
+}
+BENCHMARK(BM_PacketForwardingEndToEnd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

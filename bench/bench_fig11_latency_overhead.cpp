@@ -1,0 +1,71 @@
+// Fig. 11 reproduction: additional overhead SDT introduces on 8-hop latency.
+//
+// Paper setup (§VI-B1, Fig. 10): 8 switches in a line, one node each,
+// 10 Gbps links, IMB Pingpong node1 <-> node8, RoCEv2 with ECN disabled,
+// message lengths swept (-msglen). Overhead = (l_s - l_r) / l_r.
+// Expected shape: overhead positive, <= ~2%, shrinking as messages grow.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "routing/shortest_path.hpp"
+#include "workloads/apps.hpp"
+
+using namespace sdt;
+
+int main() {
+  std::printf("== Fig. 11: SDT extra overhead on 8-hop RTT (line-8, RoCE, ECN off) ==\n");
+  const topo::Topology topo = topo::makeLine(8);
+  routing::ShortestPathRouting routing(topo);
+
+  testbed::InstanceOptions opt;
+  opt.network.ecnEnabled = false;  // paper: ECN-disabled for the latency test
+  // node1 <-> node8: ranks 0/1 on hosts 0 and 7.
+  const std::vector<int> rankMap{0, 7, 1, 2, 3, 4, 5, 6};
+
+  projection::PlantConfig pc;
+  pc.numSwitches = 2;
+  pc.spec = projection::openflow64x100G();
+  pc.hostPortsPerSwitch = 8;
+  pc.interLinksPerPair = 8;
+  auto plant = projection::buildPlant(pc);
+  if (!plant) {
+    std::fprintf(stderr, "plant: %s\n", plant.error().message.c_str());
+    return 1;
+  }
+
+  std::printf("%10s %14s %14s %10s\n", "msglen", "RTT full (us)", "RTT SDT (us)",
+              "overhead");
+  bench::printRule(52);
+  bool shapeOk = true;
+  double previousOverhead = 1.0;
+  bool monotoneOverall = true;
+  for (const std::int64_t bytes :
+       {1LL, 64LL, 256LL, 1024LL, 4096LL, 16384LL, 65536LL, 262144LL, 1048576LL,
+        4194304LL}) {
+    const int iters = bytes >= 262144 ? 5 : 20;
+    const workloads::Workload w = workloads::imbPingpong(8, bytes, iters);
+
+    auto full = testbed::makeFullTestbed(topo, routing, opt);
+    const testbed::RunResult fr = testbed::runWorkload(full, w, rankMap);
+    auto sdt = testbed::makeSdt(topo, routing, plant.value(), opt);
+    if (!sdt) {
+      std::fprintf(stderr, "sdt: %s\n", sdt.error().message.c_str());
+      return 1;
+    }
+    const testbed::RunResult sr = testbed::runWorkload(sdt.value(), w, rankMap);
+
+    const double rttFull = nsToUs(fr.act) / iters;
+    const double rttSdt = nsToUs(sr.act) / iters;
+    const double overhead = (rttSdt - rttFull) / rttFull;
+    std::printf("%10lld %14.3f %14.3f %9.3f%%\n", static_cast<long long>(bytes),
+                rttFull, rttSdt, overhead * 100.0);
+    if (overhead < 0.0 || overhead > 0.02) shapeOk = false;
+    if (bytes >= 1024 && overhead > previousOverhead + 1e-4) monotoneOverall = false;
+    previousOverhead = overhead;
+  }
+  bench::printRule(52);
+  std::printf("shape: overhead in (0, 2%%] everywhere: %s; shrinking with size: %s\n",
+              shapeOk ? "YES" : "NO", monotoneOverall ? "YES" : "NO");
+  std::printf("paper: overheads below 1.6%%, decreasing with message length\n");
+  return shapeOk ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+// Table II reproduction: comparison between SDT and the other TP methods
+// (SP, SP-OS, TurboNet) on reconfiguration time, hardware requirement,
+// hardware cost, projectable link speed for the DC topologies, and the
+// number of projectable Internet Topology Zoo WANs.
+//
+// Budget model (see DESIGN.md / EXPERIMENTS.md): three switches of the
+// column's spec, QSFP28 breakout 100G -> 2x50G -> 4x25G, 25G speed floor for
+// the DC rows; TurboNet loses half its ports to loopback pairs and half the
+// bandwidth to recirculation.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "projection/feasibility.hpp"
+#include "topo/zoo.hpp"
+
+using namespace sdt;
+using projection::HardwareBudget;
+using projection::TpMethod;
+
+namespace {
+
+struct Column {
+  TpMethod method;
+  HardwareBudget budget;
+  const char* label;
+};
+
+std::string speedCell(const projection::SpeedClass& s) {
+  if (!s.feasible) return "x";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "<=%.0fG", s.linkSpeed.value);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table II: SDT vs other TP methods ==\n\n");
+
+  const std::vector<Column> columns = {
+      {TpMethod::kSP, {projection::openflow128x100G(), 3}, "SP 128x100G"},
+      {TpMethod::kSPOS, {projection::openflow128x100G(), 3}, "SP-OS 128x100G"},
+      {TpMethod::kTurboNet, {projection::p4Switch64x100G(), 3}, "Turbo 64x100G"},
+      {TpMethod::kTurboNet, {projection::p4Switch128x100G(), 3}, "Turbo 128x100G"},
+      {TpMethod::kSDT, {projection::openflow64x100G(), 3}, "SDT 64x100G"},
+      {TpMethod::kSDT, {projection::openflow128x100G(), 3}, "SDT 128x100G"},
+  };
+
+  // Header.
+  std::printf("%-22s", "row");
+  for (const Column& c : columns) std::printf("%16s", c.label);
+  std::printf("\n");
+  bench::printRule(22 + 16 * static_cast<int>(columns.size()));
+
+  // Reconfiguration time (typical range label + modeled value for a
+  // mid-size topology: ~120 cables / ~3000 flow entries).
+  std::printf("%-22s", "reconfig (typical)");
+  for (const Column& c : columns) std::printf("%16s", reconfigRangeLabel(c.method).c_str());
+  std::printf("\n");
+  std::printf("%-22s", "reconfig (modeled)");
+  for (const Column& c : columns) {
+    const int work = c.method == TpMethod::kSDT ? 3000 : 120;
+    std::printf("%16s", humanTime(projection::reconfigTime(c.method, work)).c_str());
+  }
+  std::printf("\n");
+
+  // Hardware requirement + cost.
+  std::printf("%-22s", "hardware");
+  for (const Column& c : columns) {
+    std::printf("%16s", projection::hardwareCost(c.method, c.budget).requirement
+                            .substr(0, 15).c_str());
+  }
+  std::printf("\n%-22s", "hardware cost");
+  for (const Column& c : columns) {
+    std::printf("         >$%4.0fk",
+                projection::hardwareCost(c.method, c.budget).hardwareUsd / 1000.0);
+  }
+  std::printf("\n");
+
+  // DC topology speed grid.
+  struct Row {
+    const char* label;
+    topo::Topology topo;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"FatTree k=4", topo::makeFatTree(4)});
+  rows.push_back({"FatTree k=6", topo::makeFatTree(6)});
+  rows.push_back({"FatTree k=8", topo::makeFatTree(8)});
+  rows.push_back({"Dragonfly 4/9/2", topo::makeDragonfly(4, 9, 2)});
+  rows.push_back({"Torus 4x4x4", topo::makeTorus3D(4, 4, 4)});
+  rows.push_back({"Torus 5x5x5", topo::makeTorus3D(5, 5, 5)});
+  rows.push_back({"Torus 6x6x6", topo::makeTorus3D(6, 6, 6)});
+  for (const Row& row : rows) {
+    std::printf("%-22s", row.label);
+    for (const Column& c : columns) {
+      std::printf("%16s",
+                  speedCell(projection::maxProjectableSpeed(c.method, row.topo, c.budget))
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+
+  // WAN row: 261 synthetic Topology Zoo networks.
+  std::printf("%-22s", "261 Internet WANs");
+  for (const Column& c : columns) {
+    std::printf("%16d", projection::countProjectableWans(c.method, c.budget));
+  }
+  std::printf("\n");
+  bench::printRule(22 + 16 * static_cast<int>(columns.size()));
+  std::printf(
+      "paper row (WANs): SP/SP-OS/SDT@128 -> 260, SDT@64 & Turbo@128 -> 249, "
+      "Turbo@64 -> 248\n"
+      "paper shape: SDT >= SP = SP-OS >> TurboNet in scalability; SDT cheapest;\n"
+      "SP reconfig hours, TurboNet 10s+ (P4 recompile), SP-OS/SDT sub-second.\n");
+  return 0;
+}

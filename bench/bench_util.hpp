@@ -1,0 +1,65 @@
+// Shared helpers for the experiment-reproduction benches.
+//
+// Each bench binary reproduces one table or figure from the paper's §VI and
+// prints the same rows/series the paper reports (see EXPERIMENTS.md for the
+// paper-vs-measured record). Binaries run standalone:
+//   for b in build/bench/*; do $b; done
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "projection/plant.hpp"
+#include "routing/routing.hpp"
+#include "testbed/evaluator.hpp"
+#include "topo/generators.hpp"
+
+namespace sdt::bench {
+
+/// Auto-size a plant for `topo`, growing the switch count until it fits.
+inline projection::Plant autoPlant(const topo::Topology& topo,
+                                   projection::PhysicalSwitchSpec spec =
+                                       projection::openflow128x100G(),
+                                   int startSwitches = 2, int maxSwitches = 8) {
+  for (int n = startSwitches; n <= maxSwitches; ++n) {
+    auto p = projection::planPlant({&topo}, {.numSwitches = n, .spec = spec});
+    if (p.ok()) {
+      std::printf("# plant: %d x %s for '%s'\n", n, spec.model.c_str(),
+                  topo.name().c_str());
+      return std::move(p).value();
+    }
+  }
+  std::fprintf(stderr, "FATAL: no plant fits '%s'\n", topo.name().c_str());
+  std::abort();
+}
+
+/// Table III routing strategy for a generated topology family.
+inline std::string strategyFor(const topo::Topology& topo) {
+  const std::string& n = topo.name();
+  if (n.rfind("fattree", 0) == 0) return "fattree-dfs";
+  if (n.rfind("dragonfly", 0) == 0) return "dragonfly-minimal";
+  if (n.rfind("mesh2d", 0) == 0) return "mesh-xy";
+  if (n.rfind("mesh3d", 0) == 0) return "mesh-xyz";
+  if (n.rfind("torus", 0) == 0) return "torus-clue";
+  return "shortest";
+}
+
+/// "Randomly selected nodes but kept the same among all evaluations"
+/// (§VI-D): deterministic shuffled prefix of the host set.
+inline std::vector<int> selectHosts(int totalHosts, int ranks, std::uint64_t seed = 2023) {
+  std::vector<int> hosts(static_cast<std::size_t>(totalHosts));
+  for (int i = 0; i < totalHosts; ++i) hosts[i] = i;
+  Rng rng(seed);
+  rng.shuffle(hosts);
+  hosts.resize(static_cast<std::size_t>(ranks));
+  return hosts;
+}
+
+inline void printRule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace sdt::bench

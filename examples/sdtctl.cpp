@@ -1,0 +1,256 @@
+// sdtctl — command-line front end to the SDT controller, the closest
+// equivalent of the paper's "run a configuration file at the controller"
+// workflow (Fig. 2).
+//
+//   sdtctl topo     <config.json>             describe the topology
+//   sdtctl check    <config.json...>          can one plant host all of them?
+//   sdtctl deploy   <config.json>             project + compile flow tables
+//   sdtctl run      <config.json> [workload]  deploy and run a workload
+//                                             (pingpong | alltoall | hpcg |
+//                                              hpl | minighost | minife)
+//   sdtctl feas     <config.json>             Table II feasibility per method
+//
+// Common flags: --switches N (default 2), --spec 64|128|h3c (default 128),
+//               --flex P (add P optical flex pairs per switch, §VII-A)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "controller/config.hpp"
+#include "controller/controller.hpp"
+#include "projection/feasibility.hpp"
+#include "testbed/evaluator.hpp"
+#include "workloads/apps.hpp"
+
+using namespace sdt;
+
+namespace {
+
+struct CliOptions {
+  int switches = 2;
+  projection::PhysicalSwitchSpec spec = projection::openflow128x100G();
+  int flexPairs = 0;
+  std::vector<std::string> configs;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sdtctl <topo|check|deploy|run|feas> <config.json>... \n"
+               "       [--switches N] [--spec 64|128|h3c] [--flex P] "
+               "[workload name for 'run']\n");
+  return 2;
+}
+
+Result<CliOptions> parseArgs(int argc, char** argv, std::string& workload) {
+  CliOptions opt;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--switches" && i + 1 < argc) {
+      opt.switches = std::atoi(argv[++i]);
+    } else if (arg == "--spec" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      if (spec == "64") opt.spec = projection::openflow64x100G();
+      else if (spec == "128") opt.spec = projection::openflow128x100G();
+      else if (spec == "h3c") opt.spec = projection::h3cS6861();
+      else return makeError("unknown --spec: " + spec);
+    } else if (arg == "--flex" && i + 1 < argc) {
+      opt.flexPairs = std::atoi(argv[++i]);
+    } else if (!arg.empty() && arg[0] != '-' && arg.find(".json") != std::string::npos) {
+      opt.configs.push_back(arg);
+    } else if (!arg.empty() && arg[0] != '-') {
+      workload = arg;
+    } else {
+      return makeError("unknown flag: " + arg);
+    }
+  }
+  if (opt.configs.empty()) return makeError("no config file given");
+  return opt;
+}
+
+Result<projection::Plant> makePlant(
+    const std::vector<controller::ExperimentConfig>& configs, const CliOptions& opt) {
+  std::vector<const topo::Topology*> topos;
+  for (const auto& c : configs) topos.push_back(&c.topology);
+  auto plant = projection::planPlant(topos, {.numSwitches = opt.switches,
+                                             .spec = opt.spec});
+  if (!plant) return plant;
+  if (opt.flexPairs > 0) {
+    if (auto s = projection::addOpticalFlex(plant.value(), opt.flexPairs); !s) {
+      return s.error();
+    }
+  }
+  return plant;
+}
+
+int cmdTopo(const controller::ExperimentConfig& config) {
+  const topo::Topology& t = config.topology;
+  std::printf("name:      %s\n", t.name().c_str());
+  std::printf("switches:  %d\n", t.numSwitches());
+  std::printf("hosts:     %d\n", t.numHosts());
+  std::printf("links:     %d (%d fabric ports)\n", t.numLinks(), t.totalFabricPorts());
+  std::printf("diameter:  %d switch hops\n", t.switchGraph().diameter());
+  std::printf("routing:   %s\n", config.routingStrategy.c_str());
+  std::printf("fabric:    pfc=%s dcqcn=%s cut-through=%s\n", config.pfc ? "on" : "off",
+              config.dcqcn ? "on" : "off", config.cutThrough ? "on" : "off");
+  return 0;
+}
+
+int cmdCheck(const std::vector<controller::ExperimentConfig>& configs,
+             const CliOptions& opt) {
+  auto plant = makePlant(configs, opt);
+  if (!plant) {
+    std::fprintf(stderr, "plant: %s\n", plant.error().message.c_str());
+    return 1;
+  }
+  controller::SdtController ctl(plant.value());
+  std::vector<const topo::Topology*> topos;
+  for (const auto& c : configs) topos.push_back(&c.topology);
+  const controller::CheckReport report = ctl.check(topos);
+  std::printf("plant: %d x %s (+%d flex pairs/switch)\n", opt.switches,
+              opt.spec.model.c_str(), opt.flexPairs);
+  std::printf("check: %s\n", report.ok ? "OK - all topologies deployable" : "FAILED");
+  for (const std::string& p : report.problems) std::printf("  problem: %s\n", p.c_str());
+  std::printf("worst-case demand: %d self-links/switch, %d inter-links/pair, "
+              "%d host ports/switch\n",
+              report.maxSelfLinksPerSwitch, report.maxInterLinksPerPair,
+              report.maxHostPortsPerSwitch);
+  return report.ok ? 0 : 1;
+}
+
+int cmdDeploy(const controller::ExperimentConfig& config, const CliOptions& opt) {
+  auto plant = makePlant({config}, opt);
+  if (!plant) {
+    std::fprintf(stderr, "plant: %s\n", plant.error().message.c_str());
+    return 1;
+  }
+  auto routing = routing::makeRouting(config.routingStrategy, config.topology);
+  if (!routing) {
+    std::fprintf(stderr, "routing: %s\n", routing.error().message.c_str());
+    return 1;
+  }
+  controller::SdtController ctl(plant.value());
+  controller::DeployOptions dopt;
+  dopt.requireDeadlockFree = config.pfc;  // lossless fabrics must be safe
+  auto dep = ctl.deploy(config.topology, *routing.value(), dopt);
+  if (!dep) {
+    std::fprintf(stderr, "deploy: %s\n", dep.error().message.c_str());
+    return 1;
+  }
+  std::printf("deployed '%s' on %d x %s\n", config.topology.name().c_str(),
+              opt.switches, opt.spec.model.c_str());
+  std::printf("  flow entries: %d total, %d max/switch (capacity %zu)\n",
+              dep.value().totalFlowEntries, dep.value().maxEntriesPerSwitch,
+              opt.spec.flowTableCapacity);
+  std::printf("  reconfiguration time: %s\n",
+              humanTime(dep.value().reconfigTime).c_str());
+  std::printf("  inter-switch links used: %d, optical circuits: %zu\n",
+              dep.value().projection.interSwitchLinkCount(),
+              dep.value().projection.opticalCircuits().size());
+  return 0;
+}
+
+int cmdRun(const controller::ExperimentConfig& config, const CliOptions& opt,
+           const std::string& workloadName) {
+  auto plant = makePlant({config}, opt);
+  if (!plant) {
+    std::fprintf(stderr, "plant: %s\n", plant.error().message.c_str());
+    return 1;
+  }
+  auto routing = routing::makeRouting(config.routingStrategy, config.topology);
+  if (!routing) {
+    std::fprintf(stderr, "routing: %s\n", routing.error().message.c_str());
+    return 1;
+  }
+  testbed::InstanceOptions iopt;
+  controller::applyFabricKnobs(config, iopt.network);
+  iopt.deploy.requireDeadlockFree = config.pfc;
+  auto inst = testbed::makeSdt(config.topology, *routing.value(), plant.value(), iopt);
+  if (!inst) {
+    std::fprintf(stderr, "testbed: %s\n", inst.error().message.c_str());
+    return 1;
+  }
+  const int ranks = std::min(32, config.topology.numHosts());
+  workloads::Workload w;
+  if (workloadName == "pingpong" || workloadName.empty()) {
+    w = workloads::imbPingpong(config.topology.numHosts(), 4096, 100);
+  } else if (workloadName == "alltoall") {
+    w = workloads::imbAlltoall(ranks, 32 * 1024, 2);
+  } else if (workloadName == "hpcg") {
+    w = workloads::hpcg(ranks);
+  } else if (workloadName == "hpl") {
+    w = workloads::hpl(ranks);
+  } else if (workloadName == "minighost") {
+    w = workloads::miniGhost(ranks);
+  } else if (workloadName == "minife") {
+    w = workloads::miniFe(ranks);
+  } else {
+    std::fprintf(stderr, "unknown workload: %s\n", workloadName.c_str());
+    return 2;
+  }
+  const testbed::RunResult run = testbed::runWorkload(inst.value(), w);
+  std::printf("workload:     %s\n", w.name.empty() ? workloadName.c_str()
+                                                     : w.name.c_str());
+  std::printf("deploy time:  %s\n", humanTime(inst.value().deployTime).c_str());
+  std::printf("ACT:          %s\n", humanTime(run.act).c_str());
+  std::printf("sim events:   %llu (%.2fs wall)\n",
+              static_cast<unsigned long long>(run.events), run.wallSeconds);
+  std::printf("fabric bytes: %s, drops: %llu\n", humanBytes(run.fabricTxBytes).c_str(),
+              static_cast<unsigned long long>(run.drops));
+  return 0;
+}
+
+int cmdFeas(const controller::ExperimentConfig& config, const CliOptions& opt) {
+  using projection::TpMethod;
+  std::printf("max projectable link speed for '%s' on 3 switches:\n",
+              config.topology.name().c_str());
+  for (const TpMethod m : {TpMethod::kSP, TpMethod::kSPOS, TpMethod::kTurboNet,
+                           TpMethod::kSDT}) {
+    projection::HardwareBudget budget{opt.spec, 3};
+    if (m == TpMethod::kTurboNet) {
+      budget.spec = opt.spec.numPorts >= 128 ? projection::p4Switch128x100G()
+                                             : projection::p4Switch64x100G();
+    }
+    const projection::SpeedClass s = projection::maxProjectableSpeed(m, config.topology,
+                                                                     budget);
+    const projection::CostEstimate cost = projection::hardwareCost(m, budget);
+    if (s.feasible) {
+      std::printf("  %-9s <= %3.0fG (breakout x%d)  cost >$%.0fk  reconfig %s\n",
+                  projection::methodName(m), s.linkSpeed.value, s.breakout,
+                  cost.hardwareUsd / 1000.0, projection::reconfigRangeLabel(m).c_str());
+    } else {
+      std::printf("  %-9s infeasible (%s)\n", projection::methodName(m),
+                  s.reason.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  std::string workloadName;
+  auto opt = parseArgs(argc, argv, workloadName);
+  if (!opt) {
+    std::fprintf(stderr, "%s\n", opt.error().message.c_str());
+    return usage();
+  }
+  std::vector<controller::ExperimentConfig> configs;
+  for (const std::string& path : opt.value().configs) {
+    auto c = controller::loadExperimentConfig(path);
+    if (!c) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), c.error().message.c_str());
+      return 1;
+    }
+    configs.push_back(std::move(c).value());
+  }
+  if (command == "topo") return cmdTopo(configs[0]);
+  if (command == "check") return cmdCheck(configs, opt.value());
+  if (command == "deploy") return cmdDeploy(configs[0], opt.value());
+  if (command == "run") return cmdRun(configs[0], opt.value(), workloadName);
+  if (command == "feas") return cmdFeas(configs[0], opt.value());
+  return usage();
+}

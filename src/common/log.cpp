@@ -1,0 +1,30 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace sdt {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level = level; }
+LogLevel logLevel() { return g_level; }
+
+void logMessage(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[sdt %-5s] %s\n", levelName(level), msg.c_str());
+}
+
+}  // namespace sdt

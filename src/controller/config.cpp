@@ -1,0 +1,119 @@
+#include "controller/config.hpp"
+
+#include "common/strings.hpp"
+#include "topo/generators.hpp"
+#include "topo/zoo.hpp"
+
+namespace sdt::controller {
+
+Result<topo::Topology> topologyFromJson(const json::Value& spec) {
+  if (!spec.isObject()) return makeError("'topology' must be an object");
+  const std::string type = spec.getString("type", "");
+  topo::GenOptions opt;
+  opt.hostsPerSwitch = static_cast<int>(spec.getInt("hosts_per_switch", 1));
+  opt.linkSpeed = Gbps{spec.getDouble("link_gbps", 10.0)};
+
+  if (type == "line") return topo::makeLine(static_cast<int>(spec.getInt("n", 8)), opt);
+  if (type == "ring") return topo::makeRing(static_cast<int>(spec.getInt("n", 8)), opt);
+  if (type == "star") return topo::makeStar(static_cast<int>(spec.getInt("n", 8)), opt);
+  if (type == "fullmesh") {
+    return topo::makeFullMesh(static_cast<int>(spec.getInt("n", 4)), opt);
+  }
+  if (type == "hypercube") {
+    return topo::makeHypercube(static_cast<int>(spec.getInt("dims", 3)), opt);
+  }
+  if (type == "fattree") {
+    const int k = static_cast<int>(spec.getInt("k", 4));
+    if (k < 2 || k % 2 != 0) return makeError("fattree requires even k >= 2");
+    return topo::makeFatTree(k, opt);
+  }
+  if (type == "dragonfly") {
+    const int a = static_cast<int>(spec.getInt("a", 4));
+    const int g = static_cast<int>(spec.getInt("g", 9));
+    const int h = static_cast<int>(spec.getInt("h", 2));
+    if (a < 2 || g < 2 || h < 1 || a * h < g - 1) {
+      return makeError("dragonfly requires a>=2, g>=2, h>=1 and a*h >= g-1");
+    }
+    return topo::makeDragonfly(a, g, h, opt);
+  }
+  if (type == "mesh2d") {
+    return topo::makeMesh2D(static_cast<int>(spec.getInt("x", 4)),
+                            static_cast<int>(spec.getInt("y", 4)), opt);
+  }
+  if (type == "mesh3d") {
+    return topo::makeMesh3D(static_cast<int>(spec.getInt("x", 3)),
+                            static_cast<int>(spec.getInt("y", 3)),
+                            static_cast<int>(spec.getInt("z", 3)), opt);
+  }
+  if (type == "torus2d") {
+    return topo::makeTorus2D(static_cast<int>(spec.getInt("x", 5)),
+                             static_cast<int>(spec.getInt("y", 5)), opt);
+  }
+  if (type == "torus3d") {
+    return topo::makeTorus3D(static_cast<int>(spec.getInt("x", 4)),
+                             static_cast<int>(spec.getInt("y", 4)),
+                             static_cast<int>(spec.getInt("z", 4)), opt);
+  }
+  if (type == "zoo") {
+    const int index = static_cast<int>(spec.getInt("index", 0));
+    if (index < 0 || index >= topo::zooSize()) {
+      return makeError(strFormat("zoo index must be in [0, %d)", topo::zooSize()));
+    }
+    return topo::makeZooTopology(index);
+  }
+  if (type == "custom") {
+    const int switches = static_cast<int>(spec.getInt("switches", 0));
+    if (switches <= 0) return makeError("custom topology needs 'switches' > 0");
+    topo::Topology t(spec.getString("name", "custom"), switches);
+    if (!spec.at("links").isArray()) return makeError("custom topology needs 'links'");
+    for (const json::Value& l : spec.at("links").asArray()) {
+      if (!l.isArray() || l.asArray().size() != 2) {
+        return makeError("each link must be [a, b]");
+      }
+      const int a = static_cast<int>(l.asArray()[0].asInt());
+      const int b = static_cast<int>(l.asArray()[1].asInt());
+      if (a < 0 || a >= switches || b < 0 || b >= switches) {
+        return makeError(strFormat("link [%d,%d] references unknown switch", a, b));
+      }
+      t.connect(a, b, opt.linkSpeed);
+    }
+    if (spec.at("hosts").isArray()) {
+      for (const json::Value& h : spec.at("hosts").asArray()) {
+        const int sw = static_cast<int>(h.asInt());
+        if (sw < 0 || sw >= switches) {
+          return makeError(strFormat("host references unknown switch %d", sw));
+        }
+        t.attachHost(sw, opt.linkSpeed);
+      }
+    }
+    if (auto s = t.validate(/*requireConnected=*/false); !s) return s.error();
+    return t;
+  }
+  return makeError("unknown topology type: '" + type + "'");
+}
+
+Result<ExperimentConfig> parseExperimentConfig(const json::Value& doc) {
+  if (!doc.isObject()) return makeError("config must be a JSON object");
+  auto topoResult = topologyFromJson(doc.at("topology"));
+  if (!topoResult) return topoResult.error();
+  ExperimentConfig config{std::move(topoResult).value()};
+  config.routingStrategy = doc.getString("routing", "shortest");
+  config.pfc = doc.getBool("pfc", true);
+  config.dcqcn = doc.getBool("dcqcn", true);
+  config.cutThrough = doc.getBool("cut_through", true);
+  return config;
+}
+
+Result<ExperimentConfig> loadExperimentConfig(const std::string& path) {
+  auto doc = json::parseFile(path);
+  if (!doc) return doc.error();
+  return parseExperimentConfig(doc.value());
+}
+
+void applyFabricKnobs(const ExperimentConfig& config, sim::NetworkConfig& netConfig) {
+  netConfig.pfcEnabled = config.pfc;
+  netConfig.ecnEnabled = config.dcqcn;
+  netConfig.cutThrough = config.cutThrough;
+}
+
+}  // namespace sdt::controller

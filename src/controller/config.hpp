@@ -1,0 +1,46 @@
+// Topology configuration files (paper Fig. 2: "reconfigure the testbed by
+// simply running a different configuration file").
+//
+// A config is a JSON document:
+// {
+//   "topology": {"type": "fattree", "k": 4},          // or dragonfly/torus/...
+//   "routing": "fattree-dfs",                          // Table III names
+//   "link_gbps": 10,                                   // optional, default 10
+//   "hosts_per_switch": 1,                             // where applicable
+//   "pfc": true, "dcqcn": true, "cut_through": true    // fabric knobs
+// }
+// Custom topologies:
+// {"topology": {"type": "custom", "switches": 3,
+//               "links": [[0,1],[1,2]], "hosts": [0,2]}}
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "sim/network.hpp"
+#include "topo/topology.hpp"
+
+namespace sdt::controller {
+
+struct ExperimentConfig {
+  topo::Topology topology;
+  std::string routingStrategy = "shortest";
+  bool pfc = true;
+  bool dcqcn = true;
+  bool cutThrough = true;
+};
+
+/// Build a topology from the "topology" object of a config document.
+Result<topo::Topology> topologyFromJson(const json::Value& spec);
+
+/// Parse a full experiment config document.
+Result<ExperimentConfig> parseExperimentConfig(const json::Value& doc);
+
+/// Convenience: load + parse a config file.
+Result<ExperimentConfig> loadExperimentConfig(const std::string& path);
+
+/// Apply the fabric knobs onto a simulator network config.
+void applyFabricKnobs(const ExperimentConfig& config, sim::NetworkConfig& netConfig);
+
+}  // namespace sdt::controller

@@ -1,0 +1,217 @@
+#include "controller/controller.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.hpp"
+#include "partition/partitioner.hpp"
+
+namespace sdt::controller {
+
+namespace {
+
+/// Compile the routing strategy for one deployment into flow entries.
+/// Returns the per-physical-switch entry lists, or an error when the
+/// strategy fails on some (switch, destination, vc) state.
+Result<std::vector<std::vector<openflow::FlowEntry>>> compileFlowTables(
+    const topo::Topology& topo, const projection::Projection& projection,
+    const projection::Plant& plant, const routing::RoutingAlgorithm& routing,
+    const DeployOptions& options) {
+  std::vector<std::vector<openflow::FlowEntry>> tables(
+      static_cast<std::size_t>(plant.numSwitches()));
+  const int vcs = routing.numVcs();
+
+  // Connected-component labels: a deployment may hold several mutually
+  // isolated topologies at once (§VI-B); no rule is emitted across islands,
+  // so cross-island packets die on table miss — isolation by construction.
+  std::vector<int> component(static_cast<std::size_t>(topo.numSwitches()), -1);
+  {
+    const topo::Graph g = topo.switchGraph();
+    int label = 0;
+    for (int start = 0; start < g.numVertices(); ++start) {
+      if (component[start] != -1) continue;
+      const auto dist = g.bfsDistances(start);
+      for (int v = 0; v < g.numVertices(); ++v) {
+        if (dist[v] >= 0) component[v] = label;
+      }
+      ++label;
+    }
+  }
+
+  // Physical host port per host, for delivery rules.
+  const auto hostPhys = [&](topo::HostId h) { return projection.hostPortOf(h); };
+
+  // Every packet is matched by (ingress port, destination [, VC]); the
+  // ingress port pins the packet to its sub-switch, which is what keeps two
+  // co-resident topologies/sub-switches isolated (§VI-B).
+  for (topo::SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    const int physSw = projection.physSwitchOf(sw);
+    // Ingress ports of this sub-switch: all mapped fabric ports + the host
+    // ports of hosts attached to this logical switch.
+    std::vector<std::pair<int, bool>> ingress;  // (physical port, isHostPort)
+    for (topo::PortId lp = 0; lp < topo.radix(sw); ++lp) {
+      const projection::PhysPort pp = projection.physOf(topo::SwitchPort{sw, lp});
+      if (pp.valid()) ingress.emplace_back(pp.port, false);
+    }
+    for (const topo::HostId h : topo.hostsOf(sw)) {
+      ingress.emplace_back(hostPhys(h).port, true);
+    }
+
+    for (topo::HostId dst = 0; dst < topo.numHosts(); ++dst) {
+      if (component[topo.hostSwitch(dst)] != component[sw]) continue;
+      const bool local = topo.hostSwitch(dst) == sw;
+      for (int vc = 0; vc < vcs; ++vc) {
+        routing::Hop hop{};
+        int outPhysPort;
+        if (local) {
+          outPhysPort = hostPhys(dst).port;
+          hop.vc = vc;
+        } else {
+          auto r = routing.nextHop(sw, dst, vc,
+                                   static_cast<std::uint64_t>(dst) + options.ecmpSalt);
+          if (!r) return r.error();
+          hop = r.value();
+          const projection::PhysPort pp =
+              projection.physOf(topo::SwitchPort{sw, hop.outPort});
+          if (!pp.valid()) {
+            return makeError(strFormat("switch %d port %d not projected", sw, hop.outPort));
+          }
+          outPhysPort = pp.port;
+        }
+        for (const auto& [inPort, isHostPort] : ingress) {
+          if (!local && inPort == outPhysPort) continue;  // never hairpin a fabric port
+          if (local && inPort == outPhysPort) continue;   // host's own delivery port
+          openflow::FlowEntry entry;
+          entry.priority = 100;
+          entry.match.inPort = inPort;
+          entry.match.dstAddr = static_cast<std::uint32_t>(dst);
+          // Host-injected packets always carry VC0, so the VC match is only
+          // meaningful on fabric ingress; host ports get the vc==0 rule.
+          if (vcs > 1) {
+            if (isHostPort && vc != 0) continue;
+            if (!isHostPort) entry.match.trafficClass = static_cast<std::uint8_t>(vc);
+          }
+          entry.cookie = static_cast<std::uint64_t>(sw) + 1;
+          if (!local && hop.vc != vc) {
+            entry.actions.push_back(openflow::Action::setVc(hop.vc));
+          }
+          entry.actions.push_back(openflow::Action::output(outPhysPort));
+          tables[physSw].push_back(std::move(entry));
+        }
+      }
+    }
+  }
+  return tables;
+}
+
+}  // namespace
+
+CheckReport SdtController::check(const std::vector<const topo::Topology*>& topologies,
+                                 const DeployOptions& options) const {
+  CheckReport report;
+  report.ok = true;
+  for (const topo::Topology* t : topologies) {
+    auto proj = projection::LinkProjector::project(*t, plant_, options.projector);
+    if (!proj) {
+      report.ok = false;
+      report.problems.push_back(
+          strFormat("'%s': %s", t->name().c_str(), proj.error().message.c_str()));
+      continue;
+    }
+    const projection::Projection& p = proj.value();
+    // Demand accounting for the report (max over topologies, §IV-B: reserve
+    // the maximum inter-switch links among all topologies).
+    std::map<std::pair<int, int>, int> interPerPair;
+    std::vector<int> selfPerSwitch(static_cast<std::size_t>(plant_.numSwitches()), 0);
+    for (const projection::RealizedLink& rl : p.realizedLinks()) {
+      const projection::PhysLink& l =
+          rl.optical ? p.opticalCircuits()[rl.physLink]
+                     : (rl.interSwitch ? plant_.interLinks[rl.physLink]
+                                       : plant_.selfLinks[rl.physLink]);
+      if (rl.interSwitch) {
+        const auto key = std::minmax(l.a.sw, l.b.sw);
+        ++interPerPair[{key.first, key.second}];
+      } else {
+        ++selfPerSwitch[l.a.sw];
+      }
+    }
+    std::vector<int> hostsPerSwitch(static_cast<std::size_t>(plant_.numSwitches()), 0);
+    for (topo::HostId h = 0; h < t->numHosts(); ++h) {
+      ++hostsPerSwitch[p.hostPortOf(h).sw];
+    }
+    for (const auto& [pair, count] : interPerPair) {
+      (void)pair;
+      report.maxInterLinksPerPair = std::max(report.maxInterLinksPerPair, count);
+    }
+    for (const int c : selfPerSwitch) {
+      report.maxSelfLinksPerSwitch = std::max(report.maxSelfLinksPerSwitch, c);
+    }
+    for (const int c : hostsPerSwitch) {
+      report.maxHostPortsPerSwitch = std::max(report.maxHostPortsPerSwitch, c);
+    }
+  }
+  return report;
+}
+
+Result<Deployment> SdtController::deploy(const topo::Topology& topo,
+                                         const routing::RoutingAlgorithm& routing,
+                                         const DeployOptions& options) const {
+  if (options.requireDeadlockFree) {
+    const routing::DeadlockReport dl = routing::analyzeDeadlock(topo, routing);
+    if (!dl.error.empty()) {
+      return makeError("deadlock analysis failed: " + dl.error);
+    }
+    if (!dl.deadlockFree) {
+      return makeError(strFormat(
+          "routing '%s' on '%s' has a channel-dependency cycle (%zu channels); "
+          "refusing to deploy on a lossless fabric",
+          routing.name().c_str(), topo.name().c_str(), dl.cycle.size()));
+    }
+  }
+  auto proj = projection::LinkProjector::project(topo, plant_, options.projector);
+  if (!proj) return proj.error();
+
+  auto tables = compileFlowTables(topo, proj.value(), plant_, routing, options);
+  if (!tables) return tables.error();
+
+  Deployment deployment;
+  deployment.projection = std::move(proj).value();
+  for (int psw = 0; psw < plant_.numSwitches(); ++psw) {
+    const projection::PhysicalSwitchSpec& spec = plant_.switches[psw];
+    const auto& entries = tables.value()[psw];
+    if (entries.size() > spec.flowTableCapacity) {
+      return makeError(strFormat(
+          "physical switch %d needs %zu flow entries but '%s' holds %zu "
+          "(split the topology over more switches or merge entries, §VII-C)",
+          psw, entries.size(), spec.model.c_str(), spec.flowTableCapacity));
+    }
+    auto ofs = std::make_shared<openflow::Switch>(psw, spec.numPorts,
+                                                  spec.flowTableCapacity);
+    for (const openflow::FlowEntry& e : entries) {
+      if (auto s = ofs->table().add(e); !s) return s.error();
+    }
+    deployment.totalFlowEntries += static_cast<int>(entries.size());
+    deployment.maxEntriesPerSwitch =
+        std::max(deployment.maxEntriesPerSwitch, static_cast<int>(entries.size()));
+    deployment.switches.push_back(std::move(ofs));
+  }
+  deployment.reconfigTime =
+      projection::reconfigTime(projection::TpMethod::kSDT, deployment.totalFlowEntries);
+  return deployment;
+}
+
+Result<Deployment> SdtController::reconfigure(const Deployment& previous,
+                                              const topo::Topology& next,
+                                              const routing::RoutingAlgorithm& routing,
+                                              const DeployOptions& options) const {
+  auto deployment = deploy(next, routing, options);
+  if (!deployment) return deployment;
+  // Tear-down of the previous tables is batched with the install; the
+  // dominant term stays per-entry flow-mod cost.
+  deployment.value().reconfigTime = projection::reconfigTime(
+      projection::TpMethod::kSDT,
+      previous.totalFlowEntries + deployment.value().totalFlowEntries);
+  return deployment;
+}
+
+}  // namespace sdt::controller

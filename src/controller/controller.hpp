@@ -1,0 +1,96 @@
+// The SDT controller (paper §V, Fig. 9).
+//
+// Four modules:
+//  - Topology Customization: check() verifies that a set of user topologies
+//    fits the plant (self-link / inter-switch-link / host-port budgets,
+//    flow-table capacity §VII-C) and reports what is missing; deploy() runs
+//    Link Projection and compiles the routing strategy into per-physical-
+//    switch OpenFlow tables.
+//  - Routing Strategy: pluggable routing::RoutingAlgorithm, compiled to
+//    flow entries of the form
+//      match(in_port, dst_host [, traffic_class=VC]) -> [set_vc] output(port)
+//    One entry per (sub-switch in-port, destination, VC state): the in_port
+//    match is what enforces sub-switch isolation (§VI-B) on the shared
+//    physical switch.
+//  - Deadlock Avoidance: refuses to deploy a strategy whose channel
+//    dependency graph has a cycle on a lossless (PFC) fabric.
+//  - Network Monitor: see controller/monitor.hpp.
+//
+// The paper's controller is Ryu/Python driving real H3C switches; here the
+// "switches" are openflow::Switch models and the control channel is a
+// modeled reconfiguration-time estimate (projection::reconfigTime).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/result.hpp"
+#include "openflow/of_switch.hpp"
+#include "projection/feasibility.hpp"
+#include "projection/link_projector.hpp"
+#include "routing/deadlock.hpp"
+#include "routing/routing.hpp"
+
+namespace sdt::controller {
+
+struct DeployOptions {
+  /// Verify CDG acyclicity before installing tables (lossless fabrics).
+  bool requireDeadlockFree = true;
+  /// Per-flow ECMP spreading is approximated per-destination when compiling
+  /// proactive tables (real SDT computes paths reactively per flow).
+  std::uint64_t ecmpSalt = 0;
+  projection::LinkProjectorOptions projector;
+};
+
+/// A deployed (projected + programmed) topology, ready for sim::buildProjectedNetwork.
+struct Deployment {
+  projection::Projection projection;
+  std::vector<std::shared_ptr<openflow::Switch>> switches;  ///< programmed tables
+  int totalFlowEntries = 0;
+  int maxEntriesPerSwitch = 0;
+  TimeNs reconfigTime = 0;  ///< modeled table-install time (Table II row)
+};
+
+/// check() output: what the plant must provide for a set of topologies.
+struct CheckReport {
+  bool ok = false;
+  std::vector<std::string> problems;           ///< empty when ok
+  int maxSelfLinksPerSwitch = 0;               ///< worst-case demand
+  int maxInterLinksPerPair = 0;
+  int maxHostPortsPerSwitch = 0;
+  int maxFlowEntriesPerSwitch = 0;
+};
+
+class SdtController {
+ public:
+  explicit SdtController(projection::Plant plant) : plant_(std::move(plant)) {}
+
+  [[nodiscard]] const projection::Plant& plant() const { return plant_; }
+
+  /// Topology Customization, checking function: can every topology in the
+  /// set be projected on this plant (one at a time)? Reports the resource
+  /// shortfalls otherwise (§V-1: "inform the user of the necessary link
+  /// modification").
+  [[nodiscard]] CheckReport check(const std::vector<const topo::Topology*>& topologies,
+                                  const DeployOptions& options = {}) const;
+
+  /// Topology Customization, deployment function: project + compile routing
+  /// into flow tables. The routing algorithm must be built for `topo` and
+  /// outlive nothing (tables are self-contained once compiled).
+  [[nodiscard]] Result<Deployment> deploy(const topo::Topology& topo,
+                                          const routing::RoutingAlgorithm& routing,
+                                          const DeployOptions& options = {}) const;
+
+  /// Reconfiguration = tearing down `previous` and deploying `next`:
+  /// returns the new deployment with reconfigTime covering both phases.
+  /// No cable ever moves (the SDT claim).
+  [[nodiscard]] Result<Deployment> reconfigure(const Deployment& previous,
+                                               const topo::Topology& next,
+                                               const routing::RoutingAlgorithm& routing,
+                                               const DeployOptions& options = {}) const;
+
+ private:
+  projection::Plant plant_;
+};
+
+}  // namespace sdt::controller

@@ -1,0 +1,60 @@
+#include "controller/monitor.hpp"
+
+namespace sdt::controller {
+
+NetworkMonitor::NetworkMonitor(sim::Simulator& sim, sim::Network& net,
+                               const topo::Topology& topo)
+    : sim_(&sim), net_(&net), topo_(&topo), projection_(nullptr) {
+  ewma_.resize(static_cast<std::size_t>(topo.numSwitches()));
+  for (topo::SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    ewma_[sw].assign(static_cast<std::size_t>(topo.radix(sw)), 0.0);
+  }
+}
+
+NetworkMonitor::NetworkMonitor(sim::Simulator& sim, sim::Network& net,
+                               const topo::Topology& topo,
+                               const projection::Projection& projection)
+    : NetworkMonitor(sim, net, topo) {
+  projection_ = &projection;
+}
+
+void NetworkMonitor::start(TimeNs period, double ewmaGain) {
+  period_ = period;
+  gain_ = ewmaGain;
+  running_ = true;
+  sim_->schedule(period_, [this]() { sample(); });
+}
+
+void NetworkMonitor::poll(topo::SwitchId sw, topo::PortId port, double gain) {
+  std::int64_t bytes;
+  if (projection_ != nullptr) {
+    const projection::PhysPort pp = projection_->physOf(topo::SwitchPort{sw, port});
+    if (!pp.valid()) return;  // host-facing logical port: not a fabric queue
+    bytes = net_->switchEgressBytes(pp.sw, pp.port);
+  } else {
+    bytes = net_->switchEgressBytes(sw, port);
+  }
+  ewma_[sw][port] = (1.0 - gain) * ewma_[sw][port] + gain * static_cast<double>(bytes);
+}
+
+void NetworkMonitor::sample() {
+  if (!running_) return;
+  ++samples_;
+  for (topo::SwitchId sw = 0; sw < topo_->numSwitches(); ++sw) {
+    for (topo::PortId p = 0; p < static_cast<int>(ewma_[sw].size()); ++p) {
+      poll(sw, p, gain_);
+    }
+  }
+  sim_->schedule(period_, [this]() { sample(); });
+}
+
+double NetworkMonitor::load(topo::SwitchId sw, topo::PortId port) const {
+  if (port < 0 || port >= static_cast<int>(ewma_[sw].size())) return 0.0;
+  return ewma_[sw][port];
+}
+
+routing::CongestionOracle NetworkMonitor::oracle() const {
+  return [this](topo::SwitchId sw, topo::PortId port) { return load(sw, port); };
+}
+
+}  // namespace sdt::controller

@@ -1,0 +1,60 @@
+// Network Monitor module (paper §V-3): periodic telemetry off the switches.
+//
+// The controller "periodically collects statistics data in each port of
+// OpenFlow switches through provided API"; the collected load feeds adaptive
+// routing (§VI-E). Here the monitor samples the simulator's egress queues
+// (equivalent to reading port tx counters + queue depth via OpenFlow stats)
+// on a fixed period and keeps an EWMA per (logical switch, logical port).
+//
+// The monitor is projection-aware: in SDT mode it translates logical ports
+// to the physical ports it actually polls; in full-testbed mode the mapping
+// is the identity.
+#pragma once
+
+#include <vector>
+
+#include "projection/projection.hpp"
+#include "routing/adaptive.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace sdt::controller {
+
+class NetworkMonitor {
+ public:
+  /// Full-testbed mode: logical switch/port == sim switch/port.
+  NetworkMonitor(sim::Simulator& sim, sim::Network& net, const topo::Topology& topo);
+  /// SDT mode: poll through the projection's port map.
+  NetworkMonitor(sim::Simulator& sim, sim::Network& net, const topo::Topology& topo,
+                 const projection::Projection& projection);
+
+  /// Start periodic sampling (call before Simulator::run()).
+  void start(TimeNs period = usToNs(20.0), double ewmaGain = 0.3);
+
+  /// Stop sampling (lets Simulator::run() drain its queue and finish).
+  void stop() { running_ = false; }
+
+  /// EWMA of queued bytes at logical (switch, port).
+  [[nodiscard]] double load(topo::SwitchId sw, topo::PortId port) const;
+
+  /// Congestion oracle for routing::AdaptiveDragonflyRouting.
+  [[nodiscard]] routing::CongestionOracle oracle() const;
+
+  [[nodiscard]] std::uint64_t samplesTaken() const { return samples_; }
+
+ private:
+  void sample();
+  void poll(topo::SwitchId sw, topo::PortId port, double gain);
+
+  sim::Simulator* sim_;
+  sim::Network* net_;
+  const topo::Topology* topo_;
+  const projection::Projection* projection_;  ///< nullptr in full-testbed mode
+  TimeNs period_ = 0;
+  double gain_ = 0.3;
+  std::vector<std::vector<double>> ewma_;  ///< [sw][port]
+  std::uint64_t samples_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace sdt::controller

@@ -1,0 +1,72 @@
+#include "openflow/flow_table.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace sdt::openflow {
+
+int Match::specificity() const {
+  int n = 0;
+  n += inPort.has_value();
+  n += srcAddr.has_value();
+  n += dstAddr.has_value();
+  n += srcPort.has_value();
+  n += dstPort.has_value();
+  n += protocol.has_value();
+  n += trafficClass.has_value();
+  return n;
+}
+
+std::string Match::describe() const {
+  std::string out = "{";
+  const auto field = [&](const char* name, auto opt) {
+    if (opt) out += strFormat("%s=%lld ", name, static_cast<long long>(*opt));
+  };
+  field("in", inPort);
+  field("src", srcAddr);
+  field("dst", dstAddr);
+  field("sport", srcPort);
+  field("dport", dstPort);
+  field("proto", protocol);
+  field("tc", trafficClass);
+  if (out.back() == ' ') out.pop_back();
+  out += "}";
+  return out;
+}
+
+Status<Error> FlowTable::add(FlowEntry entry) {
+  if (full()) {
+    return makeError(strFormat("flow table full (%zu entries)", capacity_));
+  }
+  // Insert after all entries of >= priority, preserving stable order.
+  const auto pos = std::find_if(entries_.begin(), entries_.end(), [&](const FlowEntry& e) {
+    return e.priority < entry.priority;
+  });
+  entries_.insert(pos, std::move(entry));
+  return {};
+}
+
+std::size_t FlowTable::removeByCookie(std::uint64_t cookie) {
+  const auto it = std::remove_if(entries_.begin(), entries_.end(), [&](const FlowEntry& e) {
+    return e.cookie == cookie;
+  });
+  const auto removed = static_cast<std::size_t>(entries_.end() - it);
+  entries_.erase(it, entries_.end());
+  return removed;
+}
+
+const FlowEntry* FlowTable::lookup(const PacketHeader& header, std::int64_t bytes) const {
+  for (const FlowEntry& e : entries_) {
+    if (e.match.matches(header)) {
+      if (bytes >= 0) {
+        ++e.packetCount;
+        e.byteCount += static_cast<std::uint64_t>(bytes);
+      }
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace sdt::openflow

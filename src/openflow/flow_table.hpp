@@ -1,0 +1,113 @@
+// OpenFlow-style flow table: priority-ordered match/action entries.
+//
+// This models the subset of OpenFlow 1.3 that SDT relies on (paper §III-B,
+// §V, §VII-B): matching on ingress port and the IP 5-tuple, with OUTPUT /
+// SET_QUEUE / DROP actions, plus table-capacity accounting (§VII-C: flow
+// table entries are the scarce resource on commodity switches).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace sdt::openflow {
+
+/// Header fields a switch matches on. Addresses are opaque 32-bit ids
+/// (the testbed assigns one "IP" per host); `inPort` is the physical
+/// ingress port on the switch doing the lookup.
+struct PacketHeader {
+  int inPort = -1;
+  std::uint32_t srcAddr = 0;
+  std::uint32_t dstAddr = 0;
+  std::uint16_t srcPort = 0;
+  std::uint16_t dstPort = 0;
+  std::uint8_t protocol = 0;
+  std::uint8_t trafficClass = 0;  ///< DSCP-like priority class (0-7)
+};
+
+/// Exact-or-wildcard match on each field (nullopt = wildcard).
+struct Match {
+  std::optional<int> inPort;
+  std::optional<std::uint32_t> srcAddr;
+  std::optional<std::uint32_t> dstAddr;
+  std::optional<std::uint16_t> srcPort;
+  std::optional<std::uint16_t> dstPort;
+  std::optional<std::uint8_t> protocol;
+  std::optional<std::uint8_t> trafficClass;
+
+  [[nodiscard]] bool matches(const PacketHeader& h) const {
+    return (!inPort || *inPort == h.inPort) && (!srcAddr || *srcAddr == h.srcAddr) &&
+           (!dstAddr || *dstAddr == h.dstAddr) && (!srcPort || *srcPort == h.srcPort) &&
+           (!dstPort || *dstPort == h.dstPort) && (!protocol || *protocol == h.protocol) &&
+           (!trafficClass || *trafficClass == h.trafficClass);
+  }
+
+  /// Number of concrete fields (diagnostics; more-specific-first audits).
+  [[nodiscard]] int specificity() const;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+enum class ActionType {
+  kOutput,    ///< forward out of port `arg`
+  kSetQueue,  ///< enqueue on priority queue `arg` of the output port
+  kSetVc,     ///< set virtual channel `arg` (deadlock avoidance, §VI-E)
+  kDrop,
+};
+
+struct Action {
+  ActionType type = ActionType::kDrop;
+  int arg = 0;
+
+  static Action output(int port) { return {ActionType::kOutput, port}; }
+  static Action setQueue(int queue) { return {ActionType::kSetQueue, queue}; }
+  static Action setVc(int vc) { return {ActionType::kSetVc, vc}; }
+  static Action drop() { return {ActionType::kDrop, 0}; }
+};
+
+struct FlowEntry {
+  int priority = 0;  ///< higher wins
+  Match match;
+  std::vector<Action> actions;
+  std::uint64_t cookie = 0;  ///< controller-assigned id for bulk delete
+
+  // Per-entry counters (OpenFlow flow stats).
+  mutable std::uint64_t packetCount = 0;
+  mutable std::uint64_t byteCount = 0;
+};
+
+/// Priority-ordered table with a hard capacity (mirrors TCAM limits).
+class FlowTable {
+ public:
+  explicit FlowTable(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
+
+  /// Insert; fails when the table is full (the controller's capacity
+  /// checker must prevent this, §VII-C).
+  Status<Error> add(FlowEntry entry);
+
+  /// Remove all entries with the given cookie; returns how many.
+  std::size_t removeByCookie(std::uint64_t cookie);
+
+  void clear() { entries_.clear(); }
+
+  /// Highest-priority matching entry; ties broken by insertion order
+  /// (first inserted wins, like OpenFlow's unspecified-but-stable practice).
+  /// Updates the entry's counters when `bytes` >= 0.
+  [[nodiscard]] const FlowEntry* lookup(const PacketHeader& header,
+                                        std::int64_t bytes = -1) const;
+
+  [[nodiscard]] const std::vector<FlowEntry>& entries() const { return entries_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<FlowEntry> entries_;  // kept sorted by descending priority
+};
+
+}  // namespace sdt::openflow

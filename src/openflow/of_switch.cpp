@@ -1,0 +1,51 @@
+#include "openflow/of_switch.hpp"
+
+#include <cassert>
+
+namespace sdt::openflow {
+
+ForwardDecision Switch::process(const PacketHeader& header, std::int64_t bytes) {
+  assert(header.inPort >= 0 && header.inPort < numPorts());
+  PortStats& in = portStats_[header.inPort];
+  ++in.rxPackets;
+  in.rxBytes += static_cast<std::uint64_t>(bytes);
+
+  ForwardDecision decision;
+  const FlowEntry* entry = table_.lookup(header, bytes);
+  if (entry == nullptr) return decision;  // table miss -> drop
+
+  decision.matched = true;
+  for (const Action& a : entry->actions) {
+    switch (a.type) {
+      case ActionType::kOutput:
+        decision.drop = false;
+        decision.outPort = a.arg;
+        break;
+      case ActionType::kSetQueue:
+        decision.queue = a.arg;
+        break;
+      case ActionType::kSetVc:
+        decision.vc = a.arg;
+        break;
+      case ActionType::kDrop:
+        decision.drop = true;
+        decision.outPort = -1;
+        break;
+    }
+  }
+  if (!decision.drop) {
+    assert(decision.outPort >= 0 && decision.outPort < numPorts());
+    PortStats& out = portStats_[decision.outPort];
+    ++out.txPackets;
+    out.txBytes += static_cast<std::uint64_t>(bytes);
+  } else if (decision.matched) {
+    ++in.txDrops;
+  }
+  return decision;
+}
+
+void Switch::resetStats() {
+  for (PortStats& s : portStats_) s = PortStats{};
+}
+
+}  // namespace sdt::openflow

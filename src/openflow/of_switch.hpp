@@ -1,0 +1,62 @@
+// Model of a commodity OpenFlow switch: a port array, one flow table,
+// and per-port counters (the Network Monitor module polls these, §V-3).
+//
+// This class is pure control/data-plane logic with no notion of time; the
+// event-driven simulator (sim::) wraps it to add queues, links, and delays.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "openflow/flow_table.hpp"
+
+namespace sdt::openflow {
+
+/// Per-port rx/tx counters (OpenFlow port stats).
+struct PortStats {
+  std::uint64_t rxPackets = 0;
+  std::uint64_t rxBytes = 0;
+  std::uint64_t txPackets = 0;
+  std::uint64_t txBytes = 0;
+  std::uint64_t txDrops = 0;
+};
+
+/// Result of running a header through the pipeline.
+struct ForwardDecision {
+  bool matched = false;
+  bool drop = true;
+  int outPort = -1;
+  int queue = 0;  ///< priority queue on the egress port
+  int vc = -1;    ///< virtual channel override (-1 = keep packet's VC)
+};
+
+class Switch {
+ public:
+  Switch(int id, int numPorts, std::size_t tableCapacity = 4096)
+      : id_(id), table_(tableCapacity),
+        portStats_(static_cast<std::size_t>(numPorts)) {}
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] int numPorts() const { return static_cast<int>(portStats_.size()); }
+
+  [[nodiscard]] FlowTable& table() { return table_; }
+  [[nodiscard]] const FlowTable& table() const { return table_; }
+
+  /// Run the match/action pipeline. Counts rx on the ingress port and,
+  /// when forwarding, tx on the egress port. A table miss drops (SDT
+  /// installs no table-miss flood: isolation depends on it, §VI-B).
+  ForwardDecision process(const PacketHeader& header, std::int64_t bytes);
+
+  [[nodiscard]] const PortStats& portStats(int port) const { return portStats_[port]; }
+  [[nodiscard]] const std::vector<PortStats>& allPortStats() const { return portStats_; }
+  void resetStats();
+
+ private:
+  int id_;
+  FlowTable table_;
+  std::vector<PortStats> portStats_;
+};
+
+}  // namespace sdt::openflow

@@ -1,0 +1,104 @@
+// Projection result: the concrete assignment of a logical topology onto a
+// physical plant, shared by every TP method (SDT, SP, SP-OS, TurboNet).
+//
+// A Projection answers three questions:
+//   1. which physical port realizes each logical (switch, port)?      (map)
+//   2. which physical ports form each logical switch's sub-switch?    (groups)
+//   3. which physical port does each logical host plug into?          (hosts)
+// plus bookkeeping for how each logical link was realized (self-link vs
+// inter-switch link), which the flow-table generator and the evaluation
+// harness (crossbar-load model) consume.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "projection/plant.hpp"
+#include "topo/topology.hpp"
+
+namespace sdt::projection {
+
+/// How one logical link was realized on the plant.
+struct RealizedLink {
+  int logicalLink = -1;  ///< index into Topology::links()
+  bool interSwitch = false;
+  /// §VII-A: realized through an on-demand optical circuit instead of fixed
+  /// cabling; `physLink` then indexes Projection::opticalCircuits().
+  bool optical = false;
+  int physLink = -1;  ///< index into Plant::selfLinks / interLinks / circuits
+};
+
+/// The sub-switch for one logical switch: a set of ports on one physical
+/// switch whose forwarding domain the flow tables will restrict (§IV-A).
+struct SubSwitch {
+  topo::SwitchId logicalSwitch = -1;
+  int physSwitch = -1;
+  std::vector<int> physPorts;  ///< fabric ports; parallel to logical port ids
+};
+
+class Projection {
+ public:
+  Projection() = default;
+  Projection(std::string topologyName, int numLogicalSwitches, int numHosts)
+      : topologyName_(std::move(topologyName)),
+        portMap_(static_cast<std::size_t>(numLogicalSwitches)),
+        physSwitchOf_(static_cast<std::size_t>(numLogicalSwitches), -1),
+        hostPort_(static_cast<std::size_t>(numHosts)) {}
+
+  [[nodiscard]] const std::string& topologyName() const { return topologyName_; }
+
+  /// Record that logical (sw, port) lives on physical `phys`.
+  void mapPort(topo::SwitchPort logical, PhysPort phys);
+  void setPhysSwitchOf(topo::SwitchId sw, int physSwitch) { physSwitchOf_[sw] = physSwitch; }
+  void mapHost(topo::HostId host, PhysPort phys) { hostPort_[host] = phys; }
+  void addRealizedLink(RealizedLink rl) { realized_.push_back(rl); }
+  /// Register an optical circuit (pair of flex ports); returns its index.
+  int addOpticalCircuit(PhysLink circuit) {
+    circuits_.push_back(circuit);
+    return static_cast<int>(circuits_.size()) - 1;
+  }
+
+  /// Physical port realizing logical (sw, port); invalid PhysPort if unmapped.
+  [[nodiscard]] PhysPort physOf(topo::SwitchPort logical) const;
+  /// Logical (sw, port) at a physical port, if any.
+  [[nodiscard]] std::optional<topo::SwitchPort> logicalAt(PhysPort phys) const;
+  /// Physical switch hosting logical switch `sw`.
+  [[nodiscard]] int physSwitchOf(topo::SwitchId sw) const { return physSwitchOf_[sw]; }
+  /// Physical port cabled to logical host `h`.
+  [[nodiscard]] PhysPort hostPortOf(topo::HostId h) const { return hostPort_[h]; }
+
+  [[nodiscard]] int numLogicalSwitches() const { return static_cast<int>(portMap_.size()); }
+  [[nodiscard]] int numHosts() const { return static_cast<int>(hostPort_.size()); }
+  [[nodiscard]] const std::vector<RealizedLink>& realizedLinks() const { return realized_; }
+  /// On-demand optical circuits this projection established (§VII-A).
+  [[nodiscard]] const std::vector<PhysLink>& opticalCircuits() const { return circuits_; }
+
+  /// Sub-switch groups, derived from the port map.
+  [[nodiscard]] std::vector<SubSwitch> subSwitches() const;
+
+  /// Number of logical switches mapped onto physical switch `physSw`
+  /// (the crossbar-sharing degree; drives the sim's overhead model).
+  [[nodiscard]] int subSwitchCountOn(int physSw) const;
+
+  /// Count of inter-switch realized links (the paper's E_a).
+  [[nodiscard]] int interSwitchLinkCount() const;
+
+  /// Consistency check against the topology and plant this projection was
+  /// built from: every logical fabric port and host mapped, no physical
+  /// port claimed twice, realized links join the right endpoints.
+  [[nodiscard]] Status<Error> validate(const topo::Topology& topo, const Plant& plant) const;
+
+ private:
+  std::string topologyName_;
+  /// portMap_[sw][port] -> PhysPort (resized on demand).
+  std::vector<std::vector<PhysPort>> portMap_;
+  std::vector<int> physSwitchOf_;
+  std::vector<PhysPort> hostPort_;
+  std::vector<RealizedLink> realized_;
+  std::vector<PhysLink> circuits_;
+  std::map<PhysPort, topo::SwitchPort> reverse_;
+};
+
+}  // namespace sdt::projection

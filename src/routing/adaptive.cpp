@@ -1,0 +1,88 @@
+#include "routing/adaptive.hpp"
+
+#include "common/strings.hpp"
+
+namespace sdt::routing {
+
+Result<std::unique_ptr<AdaptiveDragonflyRouting>> AdaptiveDragonflyRouting::create(
+    const topo::Topology& topo) {
+  // Validate structure by building the minimal router first.
+  auto base = DragonflyMinimalRouting::create(topo);
+  if (!base) return base.error();
+  const int a = base.value()->a();
+  const int g = base.value()->g();
+  return std::unique_ptr<AdaptiveDragonflyRouting>(
+      new AdaptiveDragonflyRouting(topo, a, g));
+}
+
+int AdaptiveDragonflyRouting::intermediateGroup(int /*srcGroup*/, int dstGroup,
+                                                std::uint64_t flowHash) const {
+  // Depends only on (dstGroup, flowHash) so every router along the path
+  // recomputes the same group; the injection router skips the detour when
+  // the draw lands on its own group.
+  int gv = static_cast<int>(flowHash % static_cast<std::uint64_t>(g_));
+  if (gv == dstGroup) gv = (gv + 1) % g_;
+  return gv;
+}
+
+// Channel classes, in dependency order (each hop only moves rightward, so
+// the channel dependency graph is acyclic — verified in tests):
+//   L2 (src-group locals, VC2)  ->  G0 (Valiant global, VC0)  ->
+//   L0 (pre-global locals, VC0) ->  G1 (minimal global, VC1)  ->
+//   L1 (post-global locals, VC1)
+// Minimal-mode packets start at L0; Valiant packets start at L2 and join
+// minimal mode (L0) when their phase-1 global drops them in the
+// intermediate group with VC0.
+Result<Hop> AdaptiveDragonflyRouting::nextHop(topo::SwitchId sw, topo::HostId dst,
+                                              int vc, std::uint64_t flowHash) const {
+  const topo::SwitchId target = topo_->hostSwitch(dst);
+  const int myGroup = groupOf(sw);
+  const int dstGroup = groupOf(target);
+
+  if (vc >= 2) {
+    // Valiant phase 1: this only runs inside the source group (the phase-1
+    // global hop already demotes to VC0).
+    const int gv = intermediateGroup(myGroup, dstGroup, flowHash);
+    if (myGroup == gv || myGroup == dstGroup) {
+      return minimalStep(sw, target, 0);  // degenerate detour: go minimal
+    }
+    const auto [gwRouter, gwPort] = globalGateway(myGroup, gv);
+    if (gwRouter < 0) return makeError("adaptive: missing global link in phase 1");
+    if (gwRouter == sw) return Hop{gwPort, 0};  // G0: phase 1 ends on arrival
+    const topo::PortId port = localPort(sw, gwRouter);
+    if (port < 0) return makeError("adaptive: no local path to gateway in phase 1");
+    return Hop{port, 2};  // L2
+  }
+
+  // Minimal mode. The UGAL choice is made once, at the injection router:
+  // afterwards the packet is on VC1 (past its global) or has committed to
+  // the minimal global gateway, and re-evaluating would desynchronize the
+  // flow, so only the (vc==0, remote destination) state weighs the detour.
+  if (vc == 0 && myGroup != dstGroup && g_ > 2) {
+    auto minimal = minimalStep(sw, target, vc);
+    if (!minimal) return minimal;
+    const int gv = intermediateGroup(myGroup, dstGroup, flowHash);
+    if (gv != myGroup) {
+      const auto [gwRouter, gwPort] = globalGateway(myGroup, gv);
+      topo::PortId valiantPort = -1;
+      if (gwRouter == sw) {
+        valiantPort = gwPort;
+      } else if (gwRouter >= 0) {
+        valiantPort = localPort(sw, gwRouter);
+      }
+      if (valiantPort >= 0) {
+        const double minimalCost = loadOf(sw, minimal.value().outPort);
+        const double valiantCost = loadOf(sw, valiantPort);
+        // UGAL: the detour roughly doubles the path, so it must be at least
+        // ~2x less loaded plus a bias against frivolous detours.
+        if (minimalCost > 2.0 * valiantCost + threshold_) {
+          return Hop{valiantPort, gwRouter == sw ? 0 : 2};
+        }
+      }
+    }
+    return minimal;
+  }
+  return minimalStep(sw, target, vc);
+}
+
+}  // namespace sdt::routing

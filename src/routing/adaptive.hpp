@@ -1,0 +1,60 @@
+// Active (adaptive) routing for Dragonfly (paper §VI-E, based on
+// topology-custom UGAL [Rahman et al., SC'19]).
+//
+// At the injection router the algorithm compares the congestion of the
+// minimal path against a Valiant detour through a flow-specific random
+// intermediate group, using the port-load estimates the Network Monitor
+// module collects (§V-3). The choice is encoded in the VC so downstream
+// routers route consistently without per-packet state:
+//   VC 0/1 : minimal mode (0 before the global hop, 1 after — as in
+//            DragonflyMinimalRouting)
+//   VC 2   : Valiant phase 1, heading to the intermediate group; once the
+//            packet reaches it, the router demotes it to minimal mode VC0.
+// Phase 1 is pure local->global (no local hop after its global), so VC2
+// channels only depend on VC0/1 channels and the CDG stays acyclic.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "routing/dragonfly.hpp"
+
+namespace sdt::routing {
+
+/// Load estimate for (switch, out port): typically queued bytes or an EWMA
+/// thereof, in arbitrary but consistent units. Defaults to "all zero",
+/// which makes the algorithm purely minimal.
+using CongestionOracle = std::function<double(topo::SwitchId, topo::PortId)>;
+
+class AdaptiveDragonflyRouting : public DragonflyMinimalRouting {
+ public:
+  static Result<std::unique_ptr<AdaptiveDragonflyRouting>> create(
+      const topo::Topology& topo);
+
+  [[nodiscard]] std::string name() const override { return "dragonfly-adaptive"; }
+  [[nodiscard]] int numVcs() const override { return 3; }
+  [[nodiscard]] Result<Hop> nextHop(topo::SwitchId sw, topo::HostId dst, int vc,
+                                    std::uint64_t flowHash) const override;
+
+  void setCongestionOracle(CongestionOracle oracle) { oracle_ = std::move(oracle); }
+
+  /// UGAL bias: take the detour only when
+  ///   minimalCost > valiantCost * pathRatio + threshold.
+  void setBias(double threshold) { threshold_ = threshold; }
+
+  /// Intermediate group for a flow (deterministic; excludes src/dst groups).
+  [[nodiscard]] int intermediateGroup(int srcGroup, int dstGroup,
+                                      std::uint64_t flowHash) const;
+
+ private:
+  using DragonflyMinimalRouting::DragonflyMinimalRouting;
+
+  [[nodiscard]] double loadOf(topo::SwitchId sw, topo::PortId port) const {
+    return oracle_ ? oracle_(sw, port) : 0.0;
+  }
+
+  CongestionOracle oracle_;
+  double threshold_ = 1.0;
+};
+
+}  // namespace sdt::routing

@@ -1,0 +1,139 @@
+#include "routing/deadlock.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.hpp"
+
+namespace sdt::routing {
+
+namespace {
+
+/// Dense channel numbering discovered lazily.
+class ChannelIndex {
+ public:
+  int idOf(Channel c) {
+    const auto [it, inserted] = ids_.try_emplace(c, static_cast<int>(channels_.size()));
+    if (inserted) channels_.push_back(c);
+    return it->second;
+  }
+  [[nodiscard]] const std::vector<Channel>& channels() const { return channels_; }
+
+ private:
+  std::map<Channel, int> ids_;
+  std::vector<Channel> channels_;
+};
+
+struct State {
+  topo::SwitchId sw;
+  topo::HostId dst;
+  int vc;
+  auto operator<=>(const State&) const = default;
+};
+
+}  // namespace
+
+DeadlockReport analyzeDeadlock(const topo::Topology& topo,
+                               const std::vector<const RoutingAlgorithm*>& algos,
+                               int hashProbes) {
+  DeadlockReport report;
+  ChannelIndex index;
+  std::set<std::pair<int, int>> edges;        // channel -> channel
+  std::set<std::pair<State, int>> visited;    // (state, inChannel)
+  std::vector<std::pair<State, int>> stack;   // worklist
+
+  // Injection: every (source switch with a host, destination host) pair,
+  // entering the fabric with VC0 and no held channel (-1).
+  for (topo::HostId dst = 0; dst < topo.numHosts(); ++dst) {
+    const topo::SwitchId target = topo.hostSwitch(dst);
+    for (topo::HostId src = 0; src < topo.numHosts(); ++src) {
+      const topo::SwitchId sw = topo.hostSwitch(src);
+      if (sw == target) continue;
+      stack.push_back({State{sw, dst, 0}, -1});
+    }
+  }
+
+  while (!stack.empty()) {
+    const auto [state, inChannel] = stack.back();
+    stack.pop_back();
+    if (!visited.insert({state, inChannel}).second) continue;
+
+    for (const RoutingAlgorithm* algo : algos) {
+      for (int probe = 0; probe < hashProbes; ++probe) {
+        auto hop = algo->nextHop(state.sw, state.dst,
+                                 state.vc, static_cast<std::uint64_t>(probe));
+        if (!hop) {
+          report.error = hop.error().message;
+          return report;
+        }
+        const topo::SwitchPort out{state.sw, hop.value().outPort};
+        const auto li = topo.linkAt(out);
+        if (!li) {
+          report.error = strFormat("hop via unused port (switch %d port %d)", state.sw,
+                                   hop.value().outPort);
+          return report;
+        }
+        const topo::Link& link = topo.link(*li);
+        const int dir = link.a == out ? 0 : 1;
+        const int outChannel = index.idOf(Channel{*li, dir, hop.value().vc});
+        if (inChannel >= 0) edges.insert({inChannel, outChannel});
+        const topo::SwitchPort peer = link.peerOf(state.sw);
+        if (peer.sw != topo.hostSwitch(state.dst)) {
+          stack.push_back({State{peer.sw, state.dst, hop.value().vc}, outChannel});
+        }
+        // Ejection at the destination switch holds no further channel.
+      }
+    }
+  }
+
+  // Cycle detection (iterative DFS, three colors).
+  const int n = static_cast<int>(index.channels().size());
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (const auto& [from, to] : edges) adj[from].push_back(to);
+
+  std::vector<int> color(static_cast<std::size_t>(n), 0);  // 0 white 1 gray 2 black
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+  for (int start = 0; start < n; ++start) {
+    if (color[start] != 0) continue;
+    std::vector<std::pair<int, std::size_t>> dfs{{start, 0}};
+    color[start] = 1;
+    while (!dfs.empty()) {
+      auto& [v, next] = dfs.back();
+      if (next < adj[v].size()) {
+        const int w = adj[v][next++];
+        if (color[w] == 0) {
+          color[w] = 1;
+          parent[w] = v;
+          dfs.emplace_back(w, 0);
+        } else if (color[w] == 1) {
+          // Found a cycle: unwind from v back to w.
+          std::vector<Channel> cycle;
+          cycle.push_back(index.channels()[w]);
+          for (int x = v; x != w && x != -1; x = parent[x]) {
+            cycle.push_back(index.channels()[x]);
+          }
+          std::reverse(cycle.begin(), cycle.end());
+          report.cycle = std::move(cycle);
+          report.channelsUsed = n;
+          report.dependencyEdges = static_cast<int>(edges.size());
+          return report;
+        }
+      } else {
+        color[v] = 2;
+        dfs.pop_back();
+      }
+    }
+  }
+  report.deadlockFree = true;
+  report.channelsUsed = n;
+  report.dependencyEdges = static_cast<int>(edges.size());
+  return report;
+}
+
+DeadlockReport analyzeDeadlock(const topo::Topology& topo, const RoutingAlgorithm& algo,
+                               int hashProbes) {
+  return analyzeDeadlock(topo, std::vector<const RoutingAlgorithm*>{&algo}, hashProbes);
+}
+
+}  // namespace sdt::routing

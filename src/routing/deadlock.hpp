@@ -1,0 +1,51 @@
+// Channel-dependency-graph (CDG) deadlock analysis (Dally & Seitz).
+//
+// A routing function is deadlock-free on wormhole/lossless (PFC) fabrics iff
+// its channel dependency graph is acyclic. Channels are (link, direction,
+// VC) triples; an edge c1 -> c2 exists when some packet can hold c1 while
+// requesting c2 at the next switch. The builder walks every reachable
+// routing state (switch, destination host, VC) from every injection point,
+// probing several flow hashes so ECMP/adaptive branches are covered, and
+// then runs cycle detection.
+//
+// Table III's "deadlock avoidance" column is validated by running this over
+// every (topology, strategy) pair the paper lists.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "routing/routing.hpp"
+
+namespace sdt::routing {
+
+struct Channel {
+  int link = -1;  ///< index into Topology::links()
+  int dir = 0;    ///< 0: a->b, 1: b->a
+  int vc = 0;
+
+  auto operator<=>(const Channel&) const = default;
+};
+
+struct DeadlockReport {
+  bool deadlockFree = false;
+  std::vector<Channel> cycle;  ///< a witness cycle when !deadlockFree
+  int channelsUsed = 0;
+  int dependencyEdges = 0;
+  std::string error;  ///< non-empty when routing itself failed mid-analysis
+};
+
+/// Analyze one routing algorithm. `hashProbes` flow hashes are tried per
+/// state so modulo-hashed ECMP choices are all enumerated (use >= the
+/// largest ECMP fan-out; the default covers fat-trees up to k=16).
+DeadlockReport analyzeDeadlock(const topo::Topology& topo, const RoutingAlgorithm& algo,
+                               int hashProbes = 8);
+
+/// Analyze the union CDG of several algorithm variants sharing one fabric
+/// (e.g. adaptive routing probed in forced-minimal and forced-Valiant
+/// modes); deadlock freedom must hold over the union.
+DeadlockReport analyzeDeadlock(const topo::Topology& topo,
+                               const std::vector<const RoutingAlgorithm*>& algos,
+                               int hashProbes = 8);
+
+}  // namespace sdt::routing

@@ -1,0 +1,92 @@
+#include "routing/dragonfly.hpp"
+
+#include "common/strings.hpp"
+
+namespace sdt::routing {
+
+DragonflyMinimalRouting::DragonflyMinimalRouting(const topo::Topology& topo, int a, int g)
+    : RoutingAlgorithm(topo), a_(a), g_(g) {
+  gateway_.assign(static_cast<std::size_t>(g),
+                  std::vector<std::pair<topo::SwitchId, topo::PortId>>(
+                      static_cast<std::size_t>(g), {-1, -1}));
+  localPort_.resize(static_cast<std::size_t>(topo.numSwitches()));
+  for (int li = 0; li < topo.numLinks(); ++li) {
+    const topo::Link& link = topo.link(li);
+    const int ga = link.a.sw / a_;
+    const int gb = link.b.sw / a_;
+    if (ga == gb) {
+      localPort_[link.a.sw].emplace_back(link.b.sw, link.a.port);
+      localPort_[link.b.sw].emplace_back(link.a.sw, link.b.port);
+    } else {
+      gateway_[ga][gb] = {link.a.sw, link.a.port};
+      gateway_[gb][ga] = {link.b.sw, link.b.port};
+    }
+  }
+}
+
+Result<std::unique_ptr<DragonflyMinimalRouting>> DragonflyMinimalRouting::create(
+    const topo::Topology& topo) {
+  // Re-derive (a, g) from the generator's name; the structure itself is
+  // validated by the gateway scan (every group pair must have a link).
+  int a = 0, g = 0, h = 0;
+  if (std::sscanf(topo.name().c_str(), "dragonfly-a%d-g%d-h%d", &a, &g, &h) != 3 ||
+      a * g != topo.numSwitches()) {
+    return makeError(strFormat("topology '%s' is not a generated dragonfly",
+                               topo.name().c_str()));
+  }
+  std::unique_ptr<DragonflyMinimalRouting> r(new DragonflyMinimalRouting(topo, a, g));
+  for (int gi = 0; gi < g; ++gi) {
+    for (int gj = 0; gj < g; ++gj) {
+      if (gi != gj && r->gateway_[gi][gj].first < 0) {
+        return makeError(strFormat("dragonfly: groups %d and %d share no global link",
+                                   gi, gj));
+      }
+    }
+  }
+  return r;
+}
+
+std::pair<topo::SwitchId, topo::PortId> DragonflyMinimalRouting::globalGateway(
+    int group, int peerGroup) const {
+  return gateway_[group][peerGroup];
+}
+
+topo::PortId DragonflyMinimalRouting::localPort(topo::SwitchId sw,
+                                                topo::SwitchId peer) const {
+  for (const auto& [p, port] : localPort_[sw]) {
+    if (p == peer) return port;
+  }
+  return -1;
+}
+
+Result<Hop> DragonflyMinimalRouting::minimalStep(topo::SwitchId sw,
+                                                 topo::SwitchId targetSw, int vc) const {
+  const int myGroup = groupOf(sw);
+  const int dstGroup = targetSw / a_;
+  if (myGroup == dstGroup) {
+    // Final local hop(s): direct link inside the group.
+    const topo::PortId port = localPort(sw, targetSw);
+    if (port < 0) {
+      return makeError(strFormat("dragonfly: no local link %d -> %d", sw, targetSw));
+    }
+    return Hop{port, vc};
+  }
+  const auto [gwRouter, gwPort] = gateway_[myGroup][dstGroup];
+  if (gwRouter == sw) {
+    // Take the global link; bump to VC1 (deadlock avoidance).
+    return Hop{gwPort, 1};
+  }
+  // Local hop toward this group's gateway router.
+  const topo::PortId port = localPort(sw, gwRouter);
+  if (port < 0) {
+    return makeError(strFormat("dragonfly: no local link %d -> gateway %d", sw, gwRouter));
+  }
+  return Hop{port, vc};
+}
+
+Result<Hop> DragonflyMinimalRouting::nextHop(topo::SwitchId sw, topo::HostId dst, int vc,
+                                             std::uint64_t /*flowHash*/) const {
+  return minimalStep(sw, topo_->hostSwitch(dst), vc);
+}
+
+}  // namespace sdt::routing

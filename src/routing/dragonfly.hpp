@@ -1,0 +1,58 @@
+// Dragonfly minimal routing with VC-based deadlock avoidance
+// (paper Table III: "Minimal routing" + "Changing VC" [Dally-Aoki/Kim]).
+//
+// A minimal Dragonfly path is  local* -> global -> local*, at most
+// l-g-l. Cycles can only close through the final local hop, so packets bump
+// from VC0 to VC1 when they traverse a global link: local channels before
+// the global hop use VC0, local channels after it use VC1, and the channel
+// dependency graph is acyclic (verified by tests via routing/deadlock.hpp).
+//
+// Structure (groups, global wiring) is re-derived from the topology built by
+// `makeDragonfly`, whose canonical "consecutive" global arrangement wires
+// one global link between every group pair when a*h == g-1.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "routing/routing.hpp"
+
+namespace sdt::routing {
+
+class DragonflyMinimalRouting : public RoutingAlgorithm {
+ public:
+  static Result<std::unique_ptr<DragonflyMinimalRouting>> create(const topo::Topology& topo);
+
+  [[nodiscard]] std::string name() const override { return "dragonfly-minimal"; }
+  [[nodiscard]] int numVcs() const override { return 2; }
+  [[nodiscard]] Result<Hop> nextHop(topo::SwitchId sw, topo::HostId dst, int vc,
+                                    std::uint64_t flowHash) const override;
+
+  [[nodiscard]] int a() const { return a_; }
+  [[nodiscard]] int g() const { return g_; }
+  [[nodiscard]] int groupOf(topo::SwitchId sw) const { return sw / a_; }
+
+  /// Router in `group` holding a global link to `peerGroup` plus the port;
+  /// (-1,-1) if none. Exposed for the adaptive variant.
+  [[nodiscard]] std::pair<topo::SwitchId, topo::PortId> globalGateway(int group,
+                                                                      int peerGroup) const;
+
+  /// Out-port of the local link sw -> peer inside one group; -1 if absent.
+  [[nodiscard]] topo::PortId localPort(topo::SwitchId sw, topo::SwitchId peer) const;
+
+ protected:
+  DragonflyMinimalRouting(const topo::Topology& topo, int a, int g);
+
+  /// Route one minimal step toward `targetSw`, bumping VC on global hops.
+  [[nodiscard]] Result<Hop> minimalStep(topo::SwitchId sw, topo::SwitchId targetSw,
+                                        int vc) const;
+
+  int a_;
+  int g_;
+  /// gateway_[gi][gj] = (router in gi, port) carrying the gi->gj global link.
+  std::vector<std::vector<std::pair<topo::SwitchId, topo::PortId>>> gateway_;
+  /// localPort_[sw] = (peer switch, port) pairs inside sw's group.
+  std::vector<std::vector<std::pair<topo::SwitchId, topo::PortId>>> localPort_;
+};
+
+}  // namespace sdt::routing

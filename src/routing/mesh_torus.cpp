@@ -1,0 +1,91 @@
+#include "routing/mesh_torus.hpp"
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace sdt::routing {
+
+DimensionOrderRouting::DimensionOrderRouting(const topo::Topology& topo,
+                                             topo::MeshShape shape, bool wrap)
+    : RoutingAlgorithm(topo), shape_(shape), wrap_(wrap) {
+  portTo_.resize(static_cast<std::size_t>(topo.numSwitches()));
+  for (int li = 0; li < topo.numLinks(); ++li) {
+    const topo::Link& link = topo.link(li);
+    portTo_[link.a.sw].emplace_back(link.b.sw, link.a.port);
+    portTo_[link.b.sw].emplace_back(link.a.sw, link.b.port);
+  }
+}
+
+Result<std::unique_ptr<DimensionOrderRouting>> DimensionOrderRouting::create(
+    const topo::Topology& topo) {
+  int x = 0, y = 0, z = 0;
+  bool wrap = false;
+  if (std::sscanf(topo.name().c_str(), "mesh2d-%dx%d", &x, &y) == 2) {
+    z = 1;
+  } else if (std::sscanf(topo.name().c_str(), "mesh3d-%dx%dx%d", &x, &y, &z) == 3) {
+  } else if (std::sscanf(topo.name().c_str(), "torus2d-%dx%d", &x, &y) == 2) {
+    z = 1;
+    wrap = true;
+  } else if (std::sscanf(topo.name().c_str(), "torus3d-%dx%dx%d", &x, &y, &z) == 3) {
+    wrap = true;
+  } else {
+    return makeError(strFormat("topology '%s' is not a generated mesh/torus",
+                               topo.name().c_str()));
+  }
+  if (x * y * z != topo.numSwitches()) {
+    return makeError(strFormat("mesh/torus shape %dx%dx%d does not match %d switches",
+                               x, y, z, topo.numSwitches()));
+  }
+  return std::unique_ptr<DimensionOrderRouting>(
+      new DimensionOrderRouting(topo, topo::MeshShape{x, y, z}, wrap));
+}
+
+topo::PortId DimensionOrderRouting::portToward(topo::SwitchId sw,
+                                               topo::SwitchId peer) const {
+  for (const auto& [p, port] : portTo_[sw]) {
+    if (p == peer) return port;
+  }
+  return -1;
+}
+
+Result<Hop> DimensionOrderRouting::nextHop(topo::SwitchId sw, topo::HostId dst, int vc,
+                                           std::uint64_t /*flowHash*/) const {
+  const topo::SwitchId target = topo_->hostSwitch(dst);
+  const int myCoord[3] = {shape_.xOf(sw), shape_.yOf(sw), shape_.zOf(sw)};
+  const int dstCoord[3] = {shape_.xOf(target), shape_.yOf(target), shape_.zOf(target)};
+  const int dimSize[3] = {shape_.x, shape_.y, shape_.z};
+
+  for (int dim = 0; dim < 3; ++dim) {
+    if (myCoord[dim] == dstCoord[dim]) continue;
+    int step;  // +1 or -1 along this dimension
+    bool crossesDateline = false;
+    if (!wrap_) {
+      step = dstCoord[dim] > myCoord[dim] ? 1 : -1;
+    } else {
+      // Shorter ring direction; ties go positive. The dateline sits on the
+      // wraparound link (between coord size-1 and 0).
+      const int forward = (dstCoord[dim] - myCoord[dim] + dimSize[dim]) % dimSize[dim];
+      const int backward = dimSize[dim] - forward;
+      step = forward <= backward ? 1 : -1;
+      crossesDateline = (step == 1 && myCoord[dim] == dimSize[dim] - 1) ||
+                        (step == -1 && myCoord[dim] == 0);
+    }
+    int nextCoord[3] = {myCoord[0], myCoord[1], myCoord[2]};
+    nextCoord[dim] = (myCoord[dim] + step + dimSize[dim]) % dimSize[dim];
+    const topo::SwitchId peer = shape_.index(nextCoord[0], nextCoord[1], nextCoord[2]);
+    const topo::PortId port = portToward(sw, peer);
+    if (port < 0) {
+      return makeError(strFormat("dor: no link %d -> %d (dim %d)", sw, peer, dim));
+    }
+    if (!wrap_) return Hop{port, vc};
+    // Torus VC: vc = 2*dim + class. Entering a new dimension resets the
+    // class; crossing this dimension's dateline sets it.
+    const int currentClass = (vc / 2 == dim) ? vc % 2 : 0;
+    const int nextClass = crossesDateline ? 1 : currentClass;
+    return Hop{port, 2 * dim + nextClass};
+  }
+  return makeError(strFormat("dor: switch %d asked to route to its own host %d", sw, dst));
+}
+
+}  // namespace sdt::routing

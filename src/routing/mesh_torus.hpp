@@ -1,0 +1,50 @@
+// Dimension-order routing for 2D/3D meshes and tori (paper Table III:
+// "X-Y routing", "X-Y-Z routing", and "Clue" for torus).
+//
+// Mesh: plain X-then-Y(-then-Z) dimension order. All turns are from a lower
+// dimension into a higher one, so the channel dependency graph is acyclic
+// and no VCs are needed ("deadlock avoidance by routing").
+//
+// Torus: dimension order plus the classic dateline scheme the Clue algorithm
+// builds on: each dimension has two VC classes; a packet starts a dimension
+// on class 0 and moves to class 1 when it crosses that dimension's wraparound
+// ("dateline") link, which cuts the ring cycle. VCs encode (dimension, class)
+// as  vc = 2*dim + class,  so downstream switches can tell a fresh dimension
+// entry (reset to class 0) from continued travel.
+#pragma once
+
+#include <memory>
+
+#include "routing/routing.hpp"
+#include "topo/generators.hpp"
+
+namespace sdt::routing {
+
+class DimensionOrderRouting : public RoutingAlgorithm {
+ public:
+  /// Parses the grid shape from the generator name ("mesh2d-AxB",
+  /// "mesh3d-AxBxC", "torus2d-AxB", "torus3d-AxBxC").
+  static Result<std::unique_ptr<DimensionOrderRouting>> create(const topo::Topology& topo);
+
+  [[nodiscard]] std::string name() const override {
+    return wrap_ ? "torus-clue" : (shape_.z > 1 ? "mesh-xyz" : "mesh-xy");
+  }
+  [[nodiscard]] int numVcs() const override { return wrap_ ? 2 * dims() : 1; }
+  [[nodiscard]] Result<Hop> nextHop(topo::SwitchId sw, topo::HostId dst, int vc,
+                                    std::uint64_t flowHash) const override;
+
+  [[nodiscard]] int dims() const { return shape_.z > 1 ? 3 : 2; }
+  [[nodiscard]] const topo::MeshShape& shape() const { return shape_; }
+
+ private:
+  DimensionOrderRouting(const topo::Topology& topo, topo::MeshShape shape, bool wrap);
+
+  /// Port on `sw` leading to `peer`; -1 when absent.
+  [[nodiscard]] topo::PortId portToward(topo::SwitchId sw, topo::SwitchId peer) const;
+
+  topo::MeshShape shape_;
+  bool wrap_;
+  std::vector<std::vector<std::pair<topo::SwitchId, topo::PortId>>> portTo_;
+};
+
+}  // namespace sdt::routing

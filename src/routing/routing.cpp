@@ -1,0 +1,66 @@
+#include "routing/routing.hpp"
+
+#include "common/strings.hpp"
+#include "routing/adaptive.hpp"
+#include "routing/dragonfly.hpp"
+#include "routing/fat_tree.hpp"
+#include "routing/mesh_torus.hpp"
+#include "routing/shortest_path.hpp"
+
+namespace sdt::routing {
+
+Result<std::vector<topo::SwitchId>> RoutingAlgorithm::tracePath(
+    topo::HostId src, topo::HostId dst, std::uint64_t flowHash) const {
+  std::vector<topo::SwitchId> path;
+  topo::SwitchId sw = topo_->hostSwitch(src);
+  const topo::SwitchId target = topo_->hostSwitch(dst);
+  int vc = 0;
+  path.push_back(sw);
+  const int maxHops = 4 * topo_->numSwitches() + 8;
+  while (sw != target) {
+    if (static_cast<int>(path.size()) > maxHops) {
+      return makeError(strFormat("routing loop: %s, host %d -> %d", name().c_str(), src, dst));
+    }
+    auto hop = nextHop(sw, dst, vc, flowHash);
+    if (!hop) return hop.error();
+    const auto peer = topo_->neighborOf(topo::SwitchPort{sw, hop.value().outPort});
+    if (!peer) {
+      return makeError(strFormat("%s: switch %d port %d has no fabric link",
+                                 name().c_str(), sw, hop.value().outPort));
+    }
+    sw = peer->sw;
+    vc = hop.value().vc;
+    path.push_back(sw);
+  }
+  return path;
+}
+
+Result<std::unique_ptr<RoutingAlgorithm>> makeRouting(const std::string& strategy,
+                                                      const topo::Topology& topo) {
+  if (strategy == "shortest") {
+    return std::unique_ptr<RoutingAlgorithm>(new ShortestPathRouting(topo));
+  }
+  if (strategy == "fattree-dfs") {
+    auto r = FatTreeRouting::create(topo);
+    if (!r) return r.error();
+    return std::unique_ptr<RoutingAlgorithm>(std::move(r).value());
+  }
+  if (strategy == "dragonfly-minimal") {
+    auto r = DragonflyMinimalRouting::create(topo);
+    if (!r) return r.error();
+    return std::unique_ptr<RoutingAlgorithm>(std::move(r).value());
+  }
+  if (strategy == "dragonfly-adaptive") {
+    auto r = AdaptiveDragonflyRouting::create(topo);
+    if (!r) return r.error();
+    return std::unique_ptr<RoutingAlgorithm>(std::move(r).value());
+  }
+  if (strategy == "mesh-xy" || strategy == "mesh-xyz" || strategy == "torus-clue") {
+    auto r = DimensionOrderRouting::create(topo);
+    if (!r) return r.error();
+    return std::unique_ptr<RoutingAlgorithm>(std::move(r).value());
+  }
+  return makeError("unknown routing strategy: " + strategy);
+}
+
+}  // namespace sdt::routing

@@ -1,0 +1,67 @@
+// Routing Strategy module (paper §V-2, Table III).
+//
+// A RoutingAlgorithm answers, for a packet at logical switch `sw` destined
+// to host `dst` and currently on virtual channel `vc`: which output port and
+// which VC next. The answer is a *logical* port — the controller translates
+// it into physical flow entries for SDT, and the simulator consumes it
+// directly for the full-testbed baseline, so both planes forward identically
+// by construction.
+//
+// `flowHash` lets multipath algorithms (Fat-Tree ECMP) spread flows while
+// staying per-flow deterministic — the same hash always takes the same path,
+// like real switches hashing the 5-tuple.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.hpp"
+#include "topo/topology.hpp"
+
+namespace sdt::routing {
+
+struct Hop {
+  topo::PortId outPort = -1;
+  int vc = 0;
+};
+
+class RoutingAlgorithm {
+ public:
+  explicit RoutingAlgorithm(const topo::Topology& topo) : topo_(&topo) {}
+  virtual ~RoutingAlgorithm() = default;
+  RoutingAlgorithm(const RoutingAlgorithm&) = delete;
+  RoutingAlgorithm& operator=(const RoutingAlgorithm&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Number of virtual channels the algorithm requires (Table III's
+  /// deadlock-avoidance column; 1 means deadlock freedom needs no VCs).
+  [[nodiscard]] virtual int numVcs() const { return 1; }
+
+  /// Next hop for a packet at `sw` heading to `dst` on channel `vc`.
+  /// When `sw` is the destination's own switch the packet leaves the fabric
+  /// (the controller emits the host-port delivery rule), so algorithms may
+  /// assume sw != hostSwitch(dst).
+  [[nodiscard]] virtual Result<Hop> nextHop(topo::SwitchId sw, topo::HostId dst, int vc,
+                                            std::uint64_t flowHash = 0) const = 0;
+
+  [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
+
+  /// Follow nextHop() from `src`'s switch to `dst`'s switch; returns the
+  /// switch sequence, or an error on a loop/dead end (shared by tests and
+  /// the deadlock analyzer).
+  [[nodiscard]] Result<std::vector<topo::SwitchId>> tracePath(
+      topo::HostId src, topo::HostId dst, std::uint64_t flowHash = 0) const;
+
+ protected:
+  const topo::Topology* topo_;  ///< non-owning; caller keeps the topology alive
+};
+
+/// Factory matching the paper's Table III strategy names: "shortest",
+/// "fattree-dfs", "dragonfly-minimal", "mesh-xy", "mesh-xyz", "torus-clue".
+/// Mesh/torus names require the topology name to carry its shape (the
+/// generators do). Fails on an unknown strategy.
+Result<std::unique_ptr<RoutingAlgorithm>> makeRouting(const std::string& strategy,
+                                                      const topo::Topology& topo);
+
+}  // namespace sdt::routing

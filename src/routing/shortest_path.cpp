@@ -1,0 +1,39 @@
+#include "routing/shortest_path.hpp"
+
+#include "common/strings.hpp"
+
+namespace sdt::routing {
+
+ShortestPathRouting::ShortestPathRouting(const topo::Topology& topo)
+    : RoutingAlgorithm(topo) {
+  const topo::Graph g = topo.switchGraph();
+  dist_.reserve(static_cast<std::size_t>(g.numVertices()));
+  for (int sw = 0; sw < g.numVertices(); ++sw) {
+    dist_.push_back(g.bfsDistances(sw));
+  }
+}
+
+std::vector<topo::PortId> ShortestPathRouting::candidates(topo::SwitchId sw,
+                                                          topo::HostId dst) const {
+  const topo::SwitchId target = topo_->hostSwitch(dst);
+  const std::vector<int>& dist = dist_[target];
+  std::vector<topo::PortId> out;
+  for (const int li : topo_->linksOf(sw)) {
+    const topo::Link& link = topo_->link(li);
+    const topo::SwitchPort mine = link.a.sw == sw ? link.a : link.b;
+    const topo::SwitchPort peer = link.peerOf(sw);
+    if (dist[peer.sw] >= 0 && dist[peer.sw] == dist[sw] - 1) out.push_back(mine.port);
+  }
+  return out;
+}
+
+Result<Hop> ShortestPathRouting::nextHop(topo::SwitchId sw, topo::HostId dst, int vc,
+                                         std::uint64_t flowHash) const {
+  const auto cands = candidates(sw, dst);
+  if (cands.empty()) {
+    return makeError(strFormat("shortest: no route from switch %d to host %d", sw, dst));
+  }
+  return Hop{cands[flowHash % cands.size()], vc};
+}
+
+}  // namespace sdt::routing

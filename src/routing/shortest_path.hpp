@@ -1,0 +1,31 @@
+// BFS shortest-path routing with deterministic per-flow ECMP.
+//
+// The general-purpose strategy for WAN topologies (Table II's 261 Internet
+// graphs) and any topology without a dedicated algorithm. Deadlock freedom
+// is not guaranteed in general (WANs run lossy ethernet, where it is moot).
+#pragma once
+
+#include <vector>
+
+#include "routing/routing.hpp"
+
+namespace sdt::routing {
+
+class ShortestPathRouting : public RoutingAlgorithm {
+ public:
+  explicit ShortestPathRouting(const topo::Topology& topo);
+
+  [[nodiscard]] std::string name() const override { return "shortest"; }
+  [[nodiscard]] Result<Hop> nextHop(topo::SwitchId sw, topo::HostId dst, int vc,
+                                    std::uint64_t flowHash) const override;
+
+  /// All equal-cost out-ports at `sw` toward `dst` (ECMP set).
+  [[nodiscard]] std::vector<topo::PortId> candidates(topo::SwitchId sw,
+                                                     topo::HostId dst) const;
+
+ private:
+  /// dist_[dstSwitch][sw] = hop distance in the switch graph.
+  std::vector<std::vector<int>> dist_;
+};
+
+}  // namespace sdt::routing

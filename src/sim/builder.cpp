@@ -1,0 +1,124 @@
+#include "sim/builder.hpp"
+
+#include <cassert>
+
+namespace sdt::sim {
+
+BuiltNetwork buildLogicalNetwork(Simulator& sim, const topo::Topology& topo,
+                                 const routing::RoutingAlgorithm& routing,
+                                 const NetworkConfig& config) {
+  BuiltNetwork built;
+  built.net = std::make_unique<Network>(sim, config);
+  Network& net = *built.net;
+
+  // Per-switch host delivery map: host -> local port.
+  std::vector<std::vector<std::pair<topo::HostId, topo::PortId>>> hostPortOf(
+      static_cast<std::size_t>(topo.numSwitches()));
+  for (const topo::HostLink& hl : topo.hostLinks()) {
+    hostPortOf[hl.attach.sw].emplace_back(hl.host, hl.attach.port);
+  }
+
+  for (topo::SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    const auto& delivery = hostPortOf[sw];
+    Forwarder forwarder = [&routing, &topo, sw, delivery](const Packet& pkt,
+                                                          int /*inPort*/) {
+      ForwardResult result;
+      if (topo.hostSwitch(pkt.dstHost) == sw) {
+        for (const auto& [host, port] : delivery) {
+          if (host == pkt.dstHost) {
+            result.drop = false;
+            result.outPort = port;
+            result.vc = pkt.vc;
+            return result;
+          }
+        }
+        return result;  // host map inconsistency -> drop
+      }
+      // Per-destination ECMP hash, matching the controller's proactive
+      // flow-table compilation so both planes pick identical paths.
+      auto hop = routing.nextHop(sw, pkt.dstHost, pkt.vc,
+                                 static_cast<std::uint64_t>(pkt.dstHost));
+      if (!hop) return result;
+      result.drop = false;
+      result.outPort = hop.value().outPort;
+      result.vc = hop.value().vc;
+      return result;
+    };
+    const int id = net.addSwitch(topo.radix(sw), std::move(forwarder), /*extraLatency=*/0);
+    assert(id == sw);
+    (void)id;
+  }
+  for (topo::HostId h = 0; h < topo.numHosts(); ++h) {
+    const int id = net.addHost();
+    assert(id == h);
+    (void)id;
+  }
+  for (const topo::Link& link : topo.links()) {
+    net.connectSwitches(link.a.sw, link.a.port, link.b.sw, link.b.port, link.speed,
+                        config.linkPropDelay);
+  }
+  for (const topo::HostLink& hl : topo.hostLinks()) {
+    net.connectHost(hl.host, hl.attach.sw, hl.attach.port, hl.speed,
+                    config.hostPropDelay);
+  }
+  return built;
+}
+
+BuiltNetwork buildProjectedNetwork(Simulator& sim, const topo::Topology& topo,
+                                   const projection::Projection& projection,
+                                   const projection::Plant& plant,
+                                   std::vector<std::shared_ptr<openflow::Switch>>
+                                       programmedSwitches,
+                                   const NetworkConfig& config,
+                                   const CrossbarModel& crossbar) {
+  assert(static_cast<int>(programmedSwitches.size()) == plant.numSwitches());
+  BuiltNetwork built;
+  built.net = std::make_unique<Network>(sim, config);
+  built.ofSwitches = std::move(programmedSwitches);
+  Network& net = *built.net;
+
+  for (int psw = 0; psw < plant.numSwitches(); ++psw) {
+    std::shared_ptr<openflow::Switch> ofs = built.ofSwitches[psw];
+    assert(ofs != nullptr && ofs->numPorts() >= plant.switches[psw].numPorts);
+    Forwarder forwarder = [ofs](const Packet& pkt, int inPort) {
+      const openflow::ForwardDecision decision =
+          ofs->process(pkt.header(inPort), pkt.wireBytes());
+      ForwardResult result;
+      result.drop = decision.drop;
+      result.outPort = decision.outPort;
+      result.vc = decision.vc >= 0 ? decision.vc : pkt.vc;
+      return result;
+    };
+    const TimeNs extra = crossbar.extra(projection.subSwitchCountOn(psw));
+    const int id = net.addSwitch(plant.switches[psw].numPorts, std::move(forwarder), extra);
+    assert(id == psw);
+    (void)id;
+  }
+  for (topo::HostId h = 0; h < topo.numHosts(); ++h) {
+    const int id = net.addHost();
+    assert(id == h);
+    (void)id;
+  }
+
+  // Wire exactly the physical links the projection realized, at the logical
+  // link's configured speed (ports are breakout-configured to match).
+  for (const projection::RealizedLink& rl : projection.realizedLinks()) {
+    const topo::Link& logical = topo.link(rl.logicalLink);
+    const projection::PhysLink& phys =
+        rl.optical ? projection.opticalCircuits()[rl.physLink]
+                   : (rl.interSwitch ? plant.interLinks[rl.physLink]
+                                     : plant.selfLinks[rl.physLink]);
+    // Optical circuits detour through the OCS: a little extra fiber.
+    TimeNs prop = rl.interSwitch ? config.interSwitchPropDelay : config.selfLinkPropDelay;
+    if (rl.optical) prop += 25;
+    net.connectSwitches(phys.a.sw, phys.a.port, phys.b.sw, phys.b.port, logical.speed,
+                        prop);
+  }
+  for (topo::HostId h = 0; h < topo.numHosts(); ++h) {
+    const projection::PhysPort pp = projection.hostPortOf(h);
+    net.connectHost(h, pp.sw, pp.port, topo.hostLink(h).speed, config.hostPropDelay);
+  }
+  return built;
+}
+
+}  // namespace sdt::sim

@@ -1,0 +1,46 @@
+// Network builders: assemble a sim::Network either from a logical topology
+// (the "full testbed" baseline) or from an SDT projection (the physical
+// plant executing controller-generated flow tables).
+//
+// Invariant shared by both: sim host ids equal topo::HostId, so workloads
+// and transports are oblivious to which plane they run on — exactly the
+// transparency property the paper claims for SDT (§VIII).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "openflow/of_switch.hpp"
+#include "projection/projection.hpp"
+#include "routing/routing.hpp"
+#include "sim/network.hpp"
+
+namespace sdt::sim {
+
+struct BuiltNetwork {
+  std::unique_ptr<Network> net;
+  /// SDT mode only: the programmed switch models (shared with forwarders);
+  /// the Network Monitor polls their port/flow counters.
+  std::vector<std::shared_ptr<openflow::Switch>> ofSwitches;
+};
+
+/// One sim switch per logical switch; forwarding via `routing`. The routing
+/// object must outlive the network.
+BuiltNetwork buildLogicalNetwork(Simulator& sim, const topo::Topology& topo,
+                                 const routing::RoutingAlgorithm& routing,
+                                 const NetworkConfig& config);
+
+/// One sim switch per *physical* switch, executing `programmedSwitches`
+/// (index-aligned with plant.switches; tables already installed by the
+/// controller). Self-links and inter-switch links are wired exactly as the
+/// projection realized them; `crossbar` adds the sharing overhead per
+/// traversal based on how many sub-switches each crossbar hosts.
+BuiltNetwork buildProjectedNetwork(Simulator& sim, const topo::Topology& topo,
+                                   const projection::Projection& projection,
+                                   const projection::Plant& plant,
+                                   std::vector<std::shared_ptr<openflow::Switch>>
+                                       programmedSwitches,
+                                   const NetworkConfig& config,
+                                   const CrossbarModel& crossbar);
+
+}  // namespace sdt::sim

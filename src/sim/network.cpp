@@ -1,0 +1,246 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sdt::sim {
+
+int Network::addSwitch(int numPorts, Forwarder forwarder, TimeNs extraLatency) {
+  SwitchDev dev;
+  dev.ports.resize(static_cast<std::size_t>(numPorts));
+  dev.forwarder = std::move(forwarder);
+  dev.extraLatency = extraLatency;
+  switches_.push_back(std::move(dev));
+  return static_cast<int>(switches_.size()) - 1;
+}
+
+int Network::addHost() {
+  hosts_.emplace_back();
+  return static_cast<int>(hosts_.size()) - 1;
+}
+
+void Network::connectSwitches(int sw1, int p1, int sw2, int p2, Gbps speed,
+                              TimeNs propDelay) {
+  Port& a = switches_[sw1].ports[p1];
+  Port& b = switches_[sw2].ports[p2];
+  assert(!a.peer.valid() && !b.peer.valid() && "port already wired");
+  a.peer = NodeRef{NodeRef::Kind::kSwitch, sw2};
+  a.peerPort = p2;
+  a.speed = speed;
+  a.propDelay = propDelay;
+  b.peer = NodeRef{NodeRef::Kind::kSwitch, sw1};
+  b.peerPort = p1;
+  b.speed = speed;
+  b.propDelay = propDelay;
+}
+
+void Network::connectHost(int host, int sw, int port, Gbps speed, TimeNs propDelay) {
+  Port& nic = hosts_[host].nic;
+  Port& sp = switches_[sw].ports[port];
+  assert(!nic.peer.valid() && !sp.peer.valid() && "port already wired");
+  nic.peer = NodeRef{NodeRef::Kind::kSwitch, sw};
+  nic.peerPort = port;
+  nic.speed = speed;
+  nic.propDelay = propDelay;
+  sp.peer = NodeRef{NodeRef::Kind::kHost, host};
+  sp.peerPort = 0;
+  sp.speed = speed;
+  sp.propDelay = propDelay;
+}
+
+Network::Port& Network::portOf(NodeRef node, int port) {
+  return node.kind == NodeRef::Kind::kSwitch ? switches_[node.idx].ports[port]
+                                             : hosts_[node.idx].nic;
+}
+
+void Network::injectFromHost(int host, Packet packet) {
+  packet.simIngressPort = -1;
+  packet.injectedAt = sim_->now();
+  // NIC processing happens before the wire.
+  sim_->schedule(config_.nicLatency, [this, host, packet]() mutable {
+    enqueueEgress(NodeRef{NodeRef::Kind::kHost, host}, 0, std::move(packet));
+  });
+}
+
+void Network::setReceiver(int host, std::function<void(const Packet&)> receiver) {
+  hosts_[host].receiver = std::move(receiver);
+}
+
+void Network::setSniffer(int host, std::function<void(const Packet&)> sniffer) {
+  hosts_[host].sniffer = std::move(sniffer);
+}
+
+std::int64_t Network::hostQueueBytes(int host) const {
+  return hosts_[host].nic.egress.totalBytes;
+}
+
+Gbps Network::hostLinkSpeed(int host) const { return hosts_[host].nic.speed; }
+
+std::int64_t Network::switchEgressBytes(int sw, int port) const {
+  return switches_[sw].ports[port].egress.totalBytes;
+}
+
+const PortCounters& Network::switchPortCounters(int sw, int port) const {
+  return switches_[sw].ports[port].counters;
+}
+
+void Network::accountIngress(int sw, int inPort, const Packet& packet) {
+  Port& p = switches_[sw].ports[inPort];
+  const int cls = packet.vc;
+  p.ingressBytes[cls] += packet.wireBytes();
+  if (config_.pfcEnabled && !p.pauseSent[cls] &&
+      p.ingressBytes[cls] > config_.pfcXoffBytes) {
+    sendPause(sw, inPort, cls, /*pause=*/true);
+  }
+}
+
+void Network::releaseIngress(int sw, int inPort, const Packet& packet) {
+  Port& p = switches_[sw].ports[inPort];
+  const int cls = packet.vc;
+  p.ingressBytes[cls] -= packet.wireBytes();
+  assert(p.ingressBytes[cls] >= 0);
+  if (p.pauseSent[cls] && p.ingressBytes[cls] < config_.pfcXonBytes) {
+    sendPause(sw, inPort, cls, /*pause=*/false);
+  }
+}
+
+void Network::sendPause(int sw, int inPort, int cls, bool pause) {
+  Port& p = switches_[sw].ports[inPort];
+  p.pauseSent[cls] = pause;
+  ++p.counters.pausesSent;
+  const NodeRef peer = p.peer;
+  const int peerPort = p.peerPort;
+  if (!peer.valid()) return;
+  sim_->schedule(config_.pfcCtrlDelay, [this, peer, peerPort, cls, pause]() {
+    Port& upstream = portOf(peer, peerPort);
+    upstream.egress.paused[cls] = pause;
+    if (!pause) kickService(peer, peerPort);
+  });
+}
+
+void Network::enqueueEgress(NodeRef node, int port, Packet packet) {
+  Port& p = portOf(node, port);
+  assert(p.peer.valid() && "packet routed out of an unwired port");
+  const int cls = packet.vc;
+  assert(cls >= 0 && cls < kNumClasses);
+  const bool isSwitch = node.kind == NodeRef::Kind::kSwitch;
+
+  if (isSwitch) {
+    if (!config_.pfcEnabled &&
+        p.egress.totalBytes + packet.wireBytes() > config_.lossyQueueCapBytes) {
+      ++totalDrops_;
+      ++p.counters.drops;
+      return;
+    }
+    if (config_.ecnEnabled && packet.ecnCapable && packet.kind == PacketKind::kData &&
+        p.egress.totalBytes > config_.ecnThresholdBytes) {
+      packet.ecnMarked = true;
+      ++p.counters.ecnMarks;
+    }
+    if (packet.simIngressPort >= 0) accountIngress(node.idx, packet.simIngressPort, packet);
+  }
+
+  p.egress.bytes[cls] += packet.wireBytes();
+  p.egress.totalBytes += packet.wireBytes();
+  // Peak occupancy is a *switch buffer* invariant (hosts may stage
+  // arbitrarily large software send queues).
+  if (isSwitch) peakQueueBytes_ = std::max(peakQueueBytes_, p.egress.totalBytes);
+  p.egress.perClass[cls].push_back(std::move(packet));
+  kickService(node, port);
+}
+
+void Network::kickService(NodeRef node, int port) {
+  Port& p = portOf(node, port);
+  if (p.serviceScheduled) return;
+  p.serviceScheduled = true;
+  const Time delay = std::max<Time>(0, p.busyUntil - sim_->now());
+  sim_->schedule(delay, [this, node, port]() { serviceEgress(node, port); });
+}
+
+void Network::serviceEgress(NodeRef node, int port) {
+  Port& p = portOf(node, port);
+  p.serviceScheduled = false;
+  if (sim_->now() < p.busyUntil) {
+    kickService(node, port);
+    return;
+  }
+  // Strict priority: highest eligible class first.
+  int cls = -1;
+  for (int c = kNumClasses - 1; c >= 0; --c) {
+    if (p.egress.bytes[c] > 0 && !p.egress.paused[c]) {
+      cls = c;
+      break;
+    }
+  }
+  if (cls < 0) return;  // empty or fully paused; enqueue/unpause re-kicks
+
+  Packet packet = std::move(p.egress.perClass[cls].front());
+  p.egress.perClass[cls].pop_front();
+  p.egress.bytes[cls] -= packet.wireBytes();
+  p.egress.totalBytes -= packet.wireBytes();
+
+  if (node.kind == NodeRef::Kind::kSwitch && packet.simIngressPort >= 0) {
+    releaseIngress(node.idx, packet.simIngressPort, packet);
+  }
+
+  const Time ser = p.speed.serializationNs(packet.wireBytes());
+  p.busyUntil = sim_->now() + ser;
+  ++p.counters.txPackets;
+  p.counters.txBytes += static_cast<std::uint64_t>(packet.wireBytes());
+
+  const NodeRef peer = p.peer;
+  const int peerInPort = p.peerPort;
+  Time arrivalDelay;
+  if (peer.kind == NodeRef::Kind::kSwitch && config_.cutThrough) {
+    // Cut-through: downstream starts on the header; the wire still carries
+    // the full packet (busyUntil above), so back-to-back pacing is intact.
+    arrivalDelay = p.speed.serializationNs(kWireHeaderBytes) + p.propDelay;
+  } else {
+    arrivalDelay = ser + p.propDelay;
+  }
+  sim_->schedule(arrivalDelay, [this, peer, peerInPort, packet = std::move(packet)]() mutable {
+    if (peer.kind == NodeRef::Kind::kSwitch) {
+      arriveAtSwitch(peer.idx, peerInPort, std::move(packet));
+    } else {
+      deliverToHost(peer.idx, packet);
+    }
+  });
+
+  // Keep draining.
+  kickService(node, port);
+}
+
+void Network::arriveAtSwitch(int sw, int inPort, Packet packet) {
+  SwitchDev& dev = switches_[sw];
+  Port& p = dev.ports[inPort];
+  ++p.counters.rxPackets;
+  p.counters.rxBytes += static_cast<std::uint64_t>(packet.wireBytes());
+
+  const ForwardResult decision = dev.forwarder(packet, inPort);
+  if (decision.drop || decision.outPort < 0) {
+    ++totalDrops_;
+    ++p.counters.drops;
+    return;
+  }
+  packet.vc = static_cast<std::uint8_t>(decision.vc);
+  packet.simIngressPort = inPort;
+  const int outPort = decision.outPort;
+  const Time latency = config_.switchLatency + dev.extraLatency;
+  sim_->schedule(latency, [this, sw, outPort, packet = std::move(packet)]() mutable {
+    enqueueEgress(NodeRef{NodeRef::Kind::kSwitch, sw}, outPort, std::move(packet));
+  });
+}
+
+void Network::deliverToHost(int host, const Packet& packet) {
+  HostDev& dev = hosts_[host];
+  ++dev.nic.counters.rxPackets;
+  dev.nic.counters.rxBytes += static_cast<std::uint64_t>(packet.wireBytes());
+  // NIC receive-side latency, then sniffer + transport.
+  sim_->schedule(config_.nicLatency, [this, host, packet]() {
+    HostDev& d = hosts_[host];
+    if (d.sniffer) d.sniffer(packet);
+    if (d.receiver) d.receiver(packet);
+  });
+}
+
+}  // namespace sdt::sim

@@ -1,0 +1,180 @@
+// Packet-level data plane: switches, hosts, links, per-priority egress
+// queues, PFC (802.1Qbb) backpressure, ECN marking, and cut-through.
+//
+// One Network instance models either
+//   - the "full testbed": one sim switch per *logical* switch, forwarding
+//     via a routing algorithm, zero crossbar-sharing overhead; or
+//   - an SDT deployment: one sim switch per *physical* switch, forwarding
+//     by executing the controller-generated OpenFlow tables, self-links and
+//     inter-switch links wired exactly as the projection dictates, plus the
+//     crossbar-sharing overhead model (multiple sub-switches contending for
+//     one crossbar is where the paper's 0.03-2% latency delta comes from).
+// Both are assembled by sim/builder.hpp; the Network itself is agnostic.
+//
+// PFC model: ingress accounting per (port, priority class). While a packet
+// sits in an egress queue of switch S it is charged to the S-port it arrived
+// on; crossing the XOFF watermark sends PAUSE for that class to the upstream
+// port, XON sends RESUME. With PFC enabled queues never drop (lossless);
+// with PFC disabled queues drop at a fixed capacity (lossy ethernet).
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/result.hpp"
+#include "sim/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace sdt::sim {
+
+struct NetworkConfig {
+  std::int64_t mtuBytes = 1024;  ///< max payload per data packet
+  bool cutThrough = true;
+  bool pfcEnabled = true;
+  std::int64_t pfcXoffBytes = 80 * kKiB;
+  std::int64_t pfcXonBytes = 60 * kKiB;
+  bool ecnEnabled = true;
+  std::int64_t ecnThresholdBytes = 64 * kKiB;
+  std::int64_t lossyQueueCapBytes = 256 * kKiB;
+  TimeNs switchLatency = 350;  ///< pipeline latency per traversal
+  TimeNs nicLatency = 500;     ///< host NIC processing per direction
+  TimeNs pfcCtrlDelay = 200;   ///< PAUSE/RESUME propagation + handling
+  // Propagation delays (builder wiring). Everything sits in one rack/room
+  // (the paper's cluster), so cables are a few meters in every mode.
+  TimeNs linkPropDelay = 10;         ///< full-testbed fabric cable (~2 m)
+  TimeNs hostPropDelay = 10;         ///< host attachment cable
+  TimeNs selfLinkPropDelay = 10;     ///< SDT loopback fiber (~2 m)
+  TimeNs interSwitchPropDelay = 20;  ///< SDT cross-switch cable (~4 m)
+};
+
+/// Extra per-traversal latency from crossbar sharing (SDT only): the more
+/// sub-switches a physical crossbar hosts, the more arbitration it does.
+struct CrossbarModel {
+  double baseNs = 0.0;
+  double perSubSwitchNs = 0.0;
+
+  [[nodiscard]] TimeNs extra(int subSwitches) const {
+    if (subSwitches <= 1) return static_cast<TimeNs>(baseNs);
+    return static_cast<TimeNs>(baseNs + perSubSwitchNs * (subSwitches - 1));
+  }
+};
+
+struct ForwardResult {
+  bool drop = true;
+  int outPort = -1;
+  int vc = 0;
+};
+
+/// Forwarding decision function of one switch (routing- or table-driven).
+using Forwarder = std::function<ForwardResult(const Packet&, int inPort)>;
+
+struct NodeRef {
+  enum class Kind : std::uint8_t { kNone, kSwitch, kHost };
+  Kind kind = Kind::kNone;
+  int idx = -1;
+
+  [[nodiscard]] bool valid() const { return kind != Kind::kNone; }
+};
+
+struct PortCounters {
+  std::uint64_t txPackets = 0;
+  std::uint64_t txBytes = 0;
+  std::uint64_t rxPackets = 0;
+  std::uint64_t rxBytes = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t pausesSent = 0;
+  std::uint64_t ecnMarks = 0;
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, NetworkConfig config) : sim_(&sim), config_(config) {}
+
+  // -- Construction ---------------------------------------------------------
+  int addSwitch(int numPorts, Forwarder forwarder, TimeNs extraLatency = 0);
+  int addHost();
+  /// Wire two switch ports (sw1==sw2 models an SDT self-link).
+  void connectSwitches(int sw1, int p1, int sw2, int p2, Gbps speed, TimeNs propDelay);
+  void connectHost(int host, int sw, int port, Gbps speed, TimeNs propDelay);
+
+  // -- Transport-facing API -------------------------------------------------
+  /// Enqueue a packet at the host's NIC (applies NIC latency internally).
+  void injectFromHost(int host, Packet packet);
+  /// Delivery callback (transport demux). Called after the sniffer.
+  void setReceiver(int host, std::function<void(const Packet&)> receiver);
+  /// Observation hook for every packet reaching the host ("Wireshark",
+  /// used by the §VI-B isolation experiment).
+  void setSniffer(int host, std::function<void(const Packet&)> sniffer);
+
+  // -- Introspection --------------------------------------------------------
+  [[nodiscard]] Time now() const { return sim_->now(); }
+  [[nodiscard]] std::int64_t hostQueueBytes(int host) const;
+  [[nodiscard]] Gbps hostLinkSpeed(int host) const;
+  [[nodiscard]] std::int64_t switchEgressBytes(int sw, int port) const;
+  [[nodiscard]] const PortCounters& switchPortCounters(int sw, int port) const;
+  [[nodiscard]] std::uint64_t totalDrops() const { return totalDrops_; }
+  [[nodiscard]] int numSwitches() const { return static_cast<int>(switches_.size()); }
+  [[nodiscard]] int numHosts() const { return static_cast<int>(hosts_.size()); }
+  [[nodiscard]] int switchPortCount(int sw) const {
+    return static_cast<int>(switches_[sw].ports.size());
+  }
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+  /// Maximum egress occupancy seen anywhere (lossless-invariant tests).
+  [[nodiscard]] std::int64_t peakQueueBytes() const { return peakQueueBytes_; }
+
+ private:
+  struct EgressQueue {
+    std::array<std::deque<Packet>, kNumClasses> perClass;
+    std::array<std::int64_t, kNumClasses> bytes{};
+    std::array<bool, kNumClasses> paused{};
+    std::int64_t totalBytes = 0;
+  };
+
+  struct Port {
+    NodeRef peer;
+    int peerPort = -1;
+    Gbps speed{0.0};
+    TimeNs propDelay = 0;
+    EgressQueue egress;
+    Time busyUntil = 0;
+    bool serviceScheduled = false;
+    // PFC ingress accounting (switch ports only).
+    std::array<std::int64_t, kNumClasses> ingressBytes{};
+    std::array<bool, kNumClasses> pauseSent{};
+    PortCounters counters;
+  };
+
+  struct SwitchDev {
+    std::vector<Port> ports;
+    Forwarder forwarder;
+    TimeNs extraLatency = 0;
+  };
+
+  struct HostDev {
+    Port nic;
+    std::function<void(const Packet&)> receiver;
+    std::function<void(const Packet&)> sniffer;
+  };
+
+  Port& portOf(NodeRef node, int port);
+  void enqueueEgress(NodeRef node, int port, Packet packet);
+  void kickService(NodeRef node, int port);
+  void serviceEgress(NodeRef node, int port);
+  void arriveAtSwitch(int sw, int inPort, Packet packet);
+  void deliverToHost(int host, const Packet& packet);
+  void accountIngress(int sw, int inPort, const Packet& packet);
+  void releaseIngress(int sw, int inPort, const Packet& packet);
+  void sendPause(int sw, int inPort, int cls, bool pause);
+
+  Simulator* sim_;
+  NetworkConfig config_;
+  std::vector<SwitchDev> switches_;
+  std::vector<HostDev> hosts_;
+  std::uint64_t totalDrops_ = 0;
+  std::int64_t peakQueueBytes_ = 0;
+};
+
+}  // namespace sdt::sim

@@ -1,0 +1,41 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace sdt::sim {
+
+void Simulator::scheduleAt(Time when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  queue_.push(Event{when, nextSeq_++, std::move(fn)});
+}
+
+bool Simulator::runOne() {
+  if (queue_.empty() || stopped_) return false;
+  // Moving out of a priority_queue requires a const_cast dance; copy the
+  // small members and move the callable.
+  const Event& top = queue_.top();
+  now_ = top.when;
+  auto fn = std::move(const_cast<Event&>(top).fn);
+  queue_.pop();
+  ++processed_;
+  fn();
+  return true;
+}
+
+Time Simulator::run() {
+  stopped_ = false;
+  while (runOne()) {
+  }
+  return now_;
+}
+
+Time Simulator::runUntil(Time deadline) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().when <= deadline) {
+    runOne();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace sdt::sim

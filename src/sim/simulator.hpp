@@ -1,0 +1,63 @@
+// Discrete-event simulation core.
+//
+// The paper's evaluation baseline is a self-built event-driven simulator
+// combining BookSim and SST/Macro features (§VI-A2); this is our equivalent.
+// Single-threaded by design: determinism matters more than parallel speed
+// for an evaluation substrate, and every experiment seeds its own engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace sdt::sim {
+
+using Time = TimeNs;
+
+class Simulator {
+ public:
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `fn` at now() + delay (delay >= 0).
+  void schedule(Time delay, std::function<void()> fn) {
+    scheduleAt(now_ + delay, std::move(fn));
+  }
+
+  void scheduleAt(Time when, std::function<void()> fn);
+
+  /// Run until the queue drains or stop() is called. Returns final time.
+  Time run();
+
+  /// Run until simulated time `deadline` (events at exactly `deadline` run).
+  Time runUntil(Time deadline);
+
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t eventsProcessed() const { return processed_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;  ///< FIFO tie-break for same-time events
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  bool runOne();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace sdt::sim

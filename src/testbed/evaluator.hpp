@@ -1,0 +1,109 @@
+// Evaluation harness: the three "ways to run an experiment" the paper
+// compares (§VI-D, Table IV, Fig. 13):
+//
+//  - Full testbed  : the logical topology wired 1:1 (every logical switch a
+//                    real switch). Evaluation time = ACT.
+//  - SDT           : the topology projected onto a small plant, forwarding
+//                    through generated flow tables, crossbar-sharing
+//                    overhead applied. Evaluation time = deploy + ACT.
+//  - Simulator     : a BookSim/SST-Macro-class flit-level simulator. We do
+//                    not possess the authors' simulator, so per the
+//                    substitution rule its *evaluation time* is modeled from
+//                    measured run quantities (flits forwarded, network-active
+//                    time, switch count) with a calibrated cost model; its
+//                    *ACT* is our packet sim's ACT (which is also the ground
+//                    truth both other modes share).
+//
+// Both SDT and full-testbed modes execute on the same packet-level engine,
+// so ACT differences between them are exactly the projection-induced
+// effects (crossbar sharing), mirroring how the paper isolates overhead.
+#pragma once
+
+#include <optional>
+
+#include "controller/controller.hpp"
+#include "sim/builder.hpp"
+#include "sim/transport.hpp"
+#include "workloads/mpi.hpp"
+
+namespace sdt::testbed {
+
+/// One runnable network instance (simulator + network + transports).
+struct Instance {
+  std::unique_ptr<sim::Simulator> sim;
+  sim::BuiltNetwork built;
+  std::unique_ptr<sim::TransportManager> transport;
+  TimeNs deployTime = 0;                       ///< SDT: modeled reconfig time
+  std::optional<controller::Deployment> deployment;  ///< SDT only
+
+  [[nodiscard]] sim::Network& net() { return *built.net; }
+};
+
+struct InstanceOptions {
+  sim::NetworkConfig network;
+  sim::TransportConfig transport;
+  /// Crossbar-sharing overhead (SDT only). Defaults calibrated so the Fig.11
+  /// 8-hop overhead lands in the paper's 0.03-2% band.
+  sim::CrossbarModel crossbar{2.0, 1.0};
+  controller::DeployOptions deploy;
+};
+
+/// Full-testbed instance: logical switches 1:1. `routing` must outlive it.
+Instance makeFullTestbed(const topo::Topology& topo,
+                         const routing::RoutingAlgorithm& routing,
+                         const InstanceOptions& options = {});
+
+/// SDT instance on `plant`. `routing` must outlive it only through this
+/// call (tables are compiled); the projection stays inside the instance.
+Result<Instance> makeSdt(const topo::Topology& topo,
+                         const routing::RoutingAlgorithm& routing,
+                         const projection::Plant& plant,
+                         const InstanceOptions& options = {});
+
+struct RunResult {
+  TimeNs act = 0;                   ///< simulated application completion time
+  double wallSeconds = 0.0;         ///< measured wall time of our engine
+  std::uint64_t events = 0;
+  std::int64_t fabricTxBytes = 0;   ///< bytes forwarded across all switch ports
+  std::uint64_t drops = 0;
+  std::int64_t injectedBytes = 0;   ///< application payload injected
+  TimeNs avgComputePerRank = 0;     ///< workload compute time per rank
+};
+
+/// Run an MPI workload on the instance; ranks map to hosts via `rankToHost`
+/// (defaults to hosts 0..n-1). Asserts the workload finishes (no deadlock).
+RunResult runWorkload(Instance& instance, const workloads::Workload& workload,
+                      std::vector<int> rankToHost = {});
+
+/// Cost model for the paper's flit-level cycle-accurate simulator baseline.
+/// wall = perFlitHop * (fabricBytes/flitBytes) * pipelineStages
+///      + perSwitchActive * networkActiveTime * numSwitches
+/// where networkActiveTime = ACT - avg per-rank compute (idle compute gaps
+/// are fast-forwarded by an event-driven simulator; congested network time
+/// is simulated cycle by cycle).
+struct SimulatorCostModel {
+  double perFlitHopNs = 250.0;
+  int flitBytes = 64;
+  int pipelineStages = 4;
+  double perSwitchActiveFactor = 30.0;  ///< wall ns per sim ns per switch
+
+  [[nodiscard]] double wallNs(const RunResult& run, int numLogicalSwitches) const;
+};
+
+/// Table IV / Fig. 13 arithmetic for one cell: evaluation times of the three
+/// modes plus the speedup and deviation, with an optional linear scale-up
+/// factor K (replicating the workload's iterations K times: ACT and traffic
+/// scale linearly, deploy time does not). K=1 reports the measured run.
+struct Comparison {
+  double sdtEvalSeconds = 0.0;        ///< deploy + K * ACT_sdt
+  double simulatorEvalSeconds = 0.0;  ///< K * modeled simulator wall
+  double fullTestbedEvalSeconds = 0.0;///< K * ACT_full
+  double speedupVsSimulator = 0.0;    ///< simulatorEval / sdtEval
+  double actDeviation = 0.0;          ///< (ACT_sdt - ACT_full) / ACT_full
+};
+
+Comparison compare(const RunResult& sdtRun, TimeNs sdtDeployTime,
+                   const RunResult& fullRun, int numLogicalSwitches,
+                   double scaleK = 1.0, const SimulatorCostModel& model = {});
+
+}  // namespace sdt::testbed

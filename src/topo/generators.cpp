@@ -1,0 +1,191 @@
+#include "topo/generators.hpp"
+
+#include <cassert>
+
+#include "common/strings.hpp"
+
+namespace sdt::topo {
+
+namespace {
+void attachHostsEverywhere(Topology& topo, const GenOptions& opt) {
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+    for (int h = 0; h < opt.hostsPerSwitch; ++h) topo.attachHost(sw, opt.linkSpeed);
+  }
+}
+}  // namespace
+
+Topology makeLine(int numSwitches, const GenOptions& opt) {
+  assert(numSwitches >= 1);
+  Topology topo(strFormat("line-%d", numSwitches), numSwitches);
+  for (int i = 0; i + 1 < numSwitches; ++i) topo.connect(i, i + 1, opt.linkSpeed);
+  attachHostsEverywhere(topo, opt);
+  return topo;
+}
+
+Topology makeRing(int numSwitches, const GenOptions& opt) {
+  assert(numSwitches >= 2);
+  Topology topo(strFormat("ring-%d", numSwitches), numSwitches);
+  for (int i = 0; i + 1 < numSwitches; ++i) topo.connect(i, i + 1, opt.linkSpeed);
+  if (numSwitches > 2) topo.connect(numSwitches - 1, 0, opt.linkSpeed);
+  attachHostsEverywhere(topo, opt);
+  return topo;
+}
+
+Topology makeStar(int numSwitches, const GenOptions& opt) {
+  assert(numSwitches >= 2);
+  Topology topo(strFormat("star-%d", numSwitches), numSwitches);
+  for (int i = 1; i < numSwitches; ++i) topo.connect(0, i, opt.linkSpeed);
+  attachHostsEverywhere(topo, opt);
+  return topo;
+}
+
+Topology makeFullMesh(int numSwitches, const GenOptions& opt) {
+  assert(numSwitches >= 2);
+  Topology topo(strFormat("fullmesh-%d", numSwitches), numSwitches);
+  for (int i = 0; i < numSwitches; ++i) {
+    for (int j = i + 1; j < numSwitches; ++j) topo.connect(i, j, opt.linkSpeed);
+  }
+  attachHostsEverywhere(topo, opt);
+  return topo;
+}
+
+Topology makeHypercube(int dims, const GenOptions& opt) {
+  assert(dims >= 1 && dims <= 20);
+  const int n = 1 << dims;
+  Topology topo(strFormat("hypercube-%d", dims), n);
+  for (int i = 0; i < n; ++i) {
+    for (int d = 0; d < dims; ++d) {
+      const int j = i ^ (1 << d);
+      if (j > i) topo.connect(i, j, opt.linkSpeed);
+    }
+  }
+  attachHostsEverywhere(topo, opt);
+  return topo;
+}
+
+Topology makeFatTree(int k, const GenOptions& opt) {
+  assert(k >= 2 && k % 2 == 0);
+  const int half = k / 2;
+  const int numCore = half * half;
+  const int numAggPerPod = half;
+  const int numEdgePerPod = half;
+  const int numSwitches = numCore + k * (numAggPerPod + numEdgePerPod);
+  Topology topo(strFormat("fattree-k%d", k), numSwitches);
+
+  // Switch id layout: [0, numCore) cores; then per pod: aggs, then edges.
+  const auto coreId = [&](int group, int idx) { return group * half + idx; };
+  const auto aggId = [&](int pod, int idx) { return numCore + pod * k + idx; };
+  const auto edgeId = [&](int pod, int idx) { return numCore + pod * k + half + idx; };
+
+  for (int pod = 0; pod < k; ++pod) {
+    // Aggregation <-> core: agg `a` of each pod connects to core group `a`.
+    for (int a = 0; a < numAggPerPod; ++a) {
+      for (int c = 0; c < half; ++c) {
+        topo.connect(aggId(pod, a), coreId(a, c), opt.linkSpeed);
+      }
+    }
+    // Edge <-> aggregation: full bipartite inside the pod.
+    for (int e = 0; e < numEdgePerPod; ++e) {
+      for (int a = 0; a < numAggPerPod; ++a) {
+        topo.connect(edgeId(pod, e), aggId(pod, a), opt.linkSpeed);
+      }
+    }
+  }
+  // Hosts: k/2 per edge switch (structural, k^3/4 total).
+  for (int pod = 0; pod < k; ++pod) {
+    for (int e = 0; e < numEdgePerPod; ++e) {
+      for (int h = 0; h < half; ++h) topo.attachHost(edgeId(pod, e), opt.linkSpeed);
+    }
+  }
+  return topo;
+}
+
+Topology makeDragonfly(int a, int g, int h, const GenOptions& opt) {
+  assert(a >= 2 && g >= 2 && h >= 1);
+  assert(a * h >= g - 1 && "not enough global links for all-to-all groups");
+  const int numRouters = a * g;
+  Topology topo(strFormat("dragonfly-a%d-g%d-h%d", a, g, h), numRouters);
+  const auto routerId = [&](int group, int r) { return group * a + r; };
+
+  // Local links: full mesh inside each group.
+  for (int grp = 0; grp < g; ++grp) {
+    for (int i = 0; i < a; ++i) {
+      for (int j = i + 1; j < a; ++j) {
+        topo.connect(routerId(grp, i), routerId(grp, j), opt.linkSpeed);
+      }
+    }
+  }
+  // Global links: canonical "consecutive" arrangement. Group gi's global
+  // port index q (router q/h, slot q%h) connects to group gj where
+  // gj = q if q < gi else q+1, provided the pairing is mutual; with
+  // a*h == g-1 this wires exactly one link between every group pair.
+  for (int gi = 0; gi < g; ++gi) {
+    for (int q = 0; q < a * h; ++q) {
+      const int gj = q < gi ? q : q + 1;
+      if (gj >= g || gj <= gi) continue;  // add each pair once, from the lower group
+      const int qPeer = gi < gj ? gi : gi - 1;  // gi's index as seen from gj
+      if (qPeer >= a * h) continue;
+      topo.connect(routerId(gi, q / h), routerId(gj, qPeer / h), opt.linkSpeed);
+    }
+  }
+  attachHostsEverywhere(topo, opt);
+  return topo;
+}
+
+namespace {
+Topology makeGrid(const std::string& name, MeshShape shape, bool wrap,
+                  const GenOptions& opt) {
+  const int n = shape.x * shape.y * shape.z;
+  Topology topo(name, n);
+  const auto connectDim = [&](int dimSize, auto&& idAt) {
+    // idAt(i) maps ring position to switch id for one fixed row/column.
+    for (int i = 0; i + 1 < dimSize; ++i) topo.connect(idAt(i), idAt(i + 1), opt.linkSpeed);
+    if (wrap && dimSize > 2) topo.connect(idAt(dimSize - 1), idAt(0), opt.linkSpeed);
+  };
+  for (int z = 0; z < shape.z; ++z) {
+    for (int y = 0; y < shape.y; ++y) {
+      connectDim(shape.x, [&](int i) { return shape.index(i, y, z); });
+    }
+  }
+  for (int z = 0; z < shape.z; ++z) {
+    for (int x = 0; x < shape.x; ++x) {
+      connectDim(shape.y, [&](int i) { return shape.index(x, i, z); });
+    }
+  }
+  if (shape.z > 1) {
+    for (int y = 0; y < shape.y; ++y) {
+      for (int x = 0; x < shape.x; ++x) {
+        connectDim(shape.z, [&](int i) { return shape.index(x, y, i); });
+      }
+    }
+  }
+  attachHostsEverywhere(topo, opt);
+  return topo;
+}
+}  // namespace
+
+Topology makeMesh2D(int xDim, int yDim, const GenOptions& opt) {
+  assert(xDim >= 1 && yDim >= 1);
+  return makeGrid(strFormat("mesh2d-%dx%d", xDim, yDim), MeshShape{xDim, yDim, 1},
+                  /*wrap=*/false, opt);
+}
+
+Topology makeMesh3D(int xDim, int yDim, int zDim, const GenOptions& opt) {
+  assert(xDim >= 1 && yDim >= 1 && zDim >= 1);
+  return makeGrid(strFormat("mesh3d-%dx%dx%d", xDim, yDim, zDim),
+                  MeshShape{xDim, yDim, zDim}, /*wrap=*/false, opt);
+}
+
+Topology makeTorus2D(int xDim, int yDim, const GenOptions& opt) {
+  assert(xDim >= 2 && yDim >= 2);
+  return makeGrid(strFormat("torus2d-%dx%d", xDim, yDim), MeshShape{xDim, yDim, 1},
+                  /*wrap=*/true, opt);
+}
+
+Topology makeTorus3D(int xDim, int yDim, int zDim, const GenOptions& opt) {
+  assert(xDim >= 2 && yDim >= 2 && zDim >= 2);
+  return makeGrid(strFormat("torus3d-%dx%dx%d", xDim, yDim, zDim),
+                  MeshShape{xDim, yDim, zDim}, /*wrap=*/true, opt);
+}
+
+}  // namespace sdt::topo

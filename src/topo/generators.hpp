@@ -1,0 +1,75 @@
+// Generators for the topology families used throughout the paper:
+// the Fig-10 line topology, Fat-Tree(k), Dragonfly(a,g,h), 2D/3D Mesh,
+// 2D/3D Torus, plus a few classics (ring, star, full mesh, hypercube) used
+// by tests and the WAN catalog.
+//
+// Conventions shared by all generators:
+//  - switches are added before hosts, so switch-switch ports are the
+//    low-numbered ones on every switch;
+//  - `hostsPerSwitch` hosts are attached to each *edge-level* switch
+//    (Fat-Tree) or to every switch (direct networks);
+//  - every link defaults to `linkSpeed`.
+#pragma once
+
+#include <string>
+
+#include "topo/topology.hpp"
+
+namespace sdt::topo {
+
+struct GenOptions {
+  int hostsPerSwitch = 1;
+  Gbps linkSpeed{10.0};
+};
+
+/// N switches in a chain, one host on each (Fig. 10 uses n=8).
+Topology makeLine(int numSwitches, const GenOptions& opt = {});
+
+/// N switches in a cycle.
+Topology makeRing(int numSwitches, const GenOptions& opt = {});
+
+/// One hub switch and n-1 leaves.
+Topology makeStar(int numSwitches, const GenOptions& opt = {});
+
+/// Complete graph on n switches.
+Topology makeFullMesh(int numSwitches, const GenOptions& opt = {});
+
+/// d-dimensional hypercube (2^d switches).
+Topology makeHypercube(int dims, const GenOptions& opt = {});
+
+/// Standard 3-layer Fat-Tree with parameter k (k even): k^2/4 core switches,
+/// k pods of k/2 aggregation + k/2 edge switches, k/2 hosts per edge switch
+/// (paper Fig. 1; k=4 gives 20 switches / 16 hosts). `opt.hostsPerSwitch`
+/// is ignored: host count is structural.
+Topology makeFatTree(int k, const GenOptions& opt = {});
+
+/// Dragonfly (Kim et al.): g groups of a routers; full mesh inside a group;
+/// h global links per router. Requires a*h >= g-1; the canonical balanced
+/// config in the paper is a=4, g=9, h=2 (36 routers). `hostsPerSwitch`
+/// hosts ("p") are attached to every router (paper uses p=h=2 per router
+/// and then selects 32 of the 72 ports... hosts are selectable later).
+Topology makeDragonfly(int a, int g, int h, const GenOptions& opt = {});
+
+/// 2D mesh (no wraparound), X-major switch ids: id = y*xDim + x.
+Topology makeMesh2D(int xDim, int yDim, const GenOptions& opt = {});
+
+/// 3D mesh, id = (z*yDim + y)*xDim + x.
+Topology makeMesh3D(int xDim, int yDim, int zDim, const GenOptions& opt = {});
+
+/// 2D torus (wraparound rings; a dimension of size 2 gets a single link,
+/// size 1 gets none).
+Topology makeTorus2D(int xDim, int yDim, const GenOptions& opt = {});
+
+/// 3D torus (the paper evaluates 4x4x4 and 5x5x5 / 6x6x6 variants).
+Topology makeTorus3D(int xDim, int yDim, int zDim, const GenOptions& opt = {});
+
+/// Coordinate helpers shared with the mesh/torus routing algorithms.
+struct MeshShape {
+  int x = 1, y = 1, z = 1;
+  [[nodiscard]] int index(int cx, int cy, int cz) const { return (cz * y + cy) * x + cx; }
+  [[nodiscard]] int xOf(int id) const { return id % x; }
+  [[nodiscard]] int yOf(int id) const { return (id / x) % y; }
+  [[nodiscard]] int zOf(int id) const { return id / (x * y); }
+};
+
+}  // namespace sdt::topo

@@ -1,0 +1,83 @@
+#include "topo/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace sdt::topo {
+
+int Graph::addEdge(int u, int v, std::int64_t weight) {
+  assert(u >= 0 && u < numVertices());
+  assert(v >= 0 && v < numVertices());
+  const int index = static_cast<int>(edges_.size());
+  edges_.push_back(GraphEdge{u, v, weight});
+  adjacency_[u].push_back(index);
+  if (u != v) adjacency_[v].push_back(index);
+  return index;
+}
+
+std::int64_t Graph::weightedDegree(int v) const {
+  std::int64_t sum = 0;
+  for (const int e : adjacency_[v]) sum += edges_[e].weight;
+  return sum;
+}
+
+std::vector<int> Graph::bfsDistances(int src) const {
+  std::vector<int> dist(static_cast<std::size_t>(numVertices()), -1);
+  std::queue<int> queue;
+  dist[src] = 0;
+  queue.push(src);
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop();
+    for (const int e : adjacency_[v]) {
+      const int w = other(e, v);
+      if (dist[w] < 0) {
+        dist[w] = dist[v] + 1;
+        queue.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Graph::isConnected() const {
+  if (numVertices() == 0) return true;
+  const auto dist = bfsDistances(0);
+  return std::all_of(dist.begin(), dist.end(), [](int d) { return d >= 0; });
+}
+
+int Graph::diameter() const {
+  int best = 0;
+  for (int v = 0; v < numVertices(); ++v) {
+    const auto dist = bfsDistances(v);
+    for (const int d : dist) best = std::max(best, d);
+  }
+  return best;
+}
+
+int Graph::componentCount() const {
+  std::vector<char> seen(static_cast<std::size_t>(numVertices()), 0);
+  int components = 0;
+  for (int v = 0; v < numVertices(); ++v) {
+    if (seen[v]) continue;
+    ++components;
+    std::queue<int> queue;
+    queue.push(v);
+    seen[v] = 1;
+    while (!queue.empty()) {
+      const int x = queue.front();
+      queue.pop();
+      for (const int e : adjacency_[x]) {
+        const int w = other(e, x);
+        if (!seen[w]) {
+          seen[w] = 1;
+          queue.push(w);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace sdt::topo

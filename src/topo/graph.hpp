@@ -1,0 +1,62 @@
+// Undirected weighted graph used for topology partitioning and analysis.
+//
+// Vertices are dense 0..n-1 indices; parallel edges are allowed (a Torus
+// ring of length 2 produces a double edge, and the partitioner must count
+// both when computing the cut).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sdt::topo {
+
+struct GraphEdge {
+  int u = 0;
+  int v = 0;
+  std::int64_t weight = 1;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int numVertices) : adjacency_(numVertices) {}
+
+  [[nodiscard]] int numVertices() const { return static_cast<int>(adjacency_.size()); }
+  [[nodiscard]] int numEdges() const { return static_cast<int>(edges_.size()); }
+
+  /// Adds an undirected edge; returns its index.
+  int addEdge(int u, int v, std::int64_t weight = 1);
+
+  [[nodiscard]] const GraphEdge& edge(int index) const { return edges_[index]; }
+  [[nodiscard]] const std::vector<GraphEdge>& edges() const { return edges_; }
+
+  /// Edge indices incident to `v` (self-loops appear once).
+  [[nodiscard]] const std::vector<int>& incidentEdges(int v) const { return adjacency_[v]; }
+
+  /// Sum of incident edge weights.
+  [[nodiscard]] std::int64_t weightedDegree(int v) const;
+  [[nodiscard]] int degree(int v) const { return static_cast<int>(adjacency_[v].size()); }
+
+  /// Vertex on the other side of edge `e` from `v`.
+  [[nodiscard]] int other(int e, int v) const {
+    const GraphEdge& ed = edges_[e];
+    return ed.u == v ? ed.v : ed.u;
+  }
+
+  [[nodiscard]] bool isConnected() const;
+
+  /// BFS hop distances from `src` (-1 when unreachable).
+  [[nodiscard]] std::vector<int> bfsDistances(int src) const;
+
+  /// Longest shortest-path over all reachable pairs (0 for empty graphs).
+  [[nodiscard]] int diameter() const;
+
+  /// Number of connected components.
+  [[nodiscard]] int componentCount() const;
+
+ private:
+  std::vector<GraphEdge> edges_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+}  // namespace sdt::topo

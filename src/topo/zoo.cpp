@@ -1,0 +1,143 @@
+#include "topo/zoo.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace sdt::topo {
+
+namespace {
+
+enum class Style { kChordedRing, kHubSpoke, kLadder, kSparseMesh };
+
+const char* styleName(Style s) {
+  switch (s) {
+    case Style::kChordedRing: return "ring";
+    case Style::kHubSpoke: return "hub";
+    case Style::kLadder: return "ladder";
+    case Style::kSparseMesh: return "mesh";
+  }
+  return "?";
+}
+
+/// Node count for entry i. Lognormal-ish body (median ~21) with a pinned
+/// tail: index 260 is the "Kdl"-sized giant (754 nodes, the one Zoo entry
+/// that defeats every plant), indices 249..259 are large regionals that only
+/// fit the full-capacity plants, and index 248 sits in the middle band.
+int nodeCountFor(int index, Rng& rng) {
+  if (index == 260) return 754;                                    // the "Kdl" giant
+  if (index >= 249) return 350 + static_cast<int>(rng.below(200));  // 350..549 nodes
+  if (index == 248) return 260;                                     // middle band
+  const double body = std::exp(3.0 + 0.55 * (rng.uniform() * 2.0 - 1.0) +
+                               0.35 * (rng.uniform() * 2.0 - 1.0));
+  return std::clamp(static_cast<int>(body), 4, 40);
+}
+
+Style styleFor(int index, Rng& rng) {
+  // The large tail uses the sparse-mesh style so its edge count tracks
+  // ~1.25x nodes, like the Zoo's big national networks.
+  if (index >= 248) return Style::kSparseMesh;
+  switch (rng.below(4)) {
+    case 0: return Style::kChordedRing;
+    case 1: return Style::kHubSpoke;
+    case 2: return Style::kLadder;
+    default: return Style::kSparseMesh;
+  }
+}
+
+void buildChordedRing(Topology& topo, int n, Rng& rng) {
+  for (int i = 0; i + 1 < n; ++i) topo.connect(i, i + 1);
+  if (n > 2) topo.connect(n - 1, 0);
+  // A few chords across the ring (long-haul links).
+  const int chords = std::max(0, n / 8);
+  std::set<std::pair<int, int>> used;
+  for (int c = 0; c < chords; ++c) {
+    const int u = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    const int v = (u + n / 2 + static_cast<int>(rng.below(3))) % n;
+    if (u == v) continue;
+    auto key = std::minmax(u, v);
+    if (used.insert({key.first, key.second}).second) topo.connect(u, v);
+  }
+}
+
+void buildHubSpoke(Topology& topo, int n, Rng& rng) {
+  // 1-3 hubs in a small clique; every other node homes to 1-2 hubs.
+  const int hubs = std::min(n - 1, 1 + static_cast<int>(rng.below(3)));
+  for (int i = 0; i < hubs; ++i) {
+    for (int j = i + 1; j < hubs; ++j) topo.connect(i, j);
+  }
+  for (int v = hubs; v < n; ++v) {
+    const int primary = static_cast<int>(rng.below(static_cast<std::uint64_t>(hubs)));
+    topo.connect(v, primary);
+    if (hubs > 1 && rng.uniform() < 0.3) {
+      const int secondary = (primary + 1) % hubs;
+      topo.connect(v, secondary);
+    }
+  }
+}
+
+void buildLadder(Topology& topo, int n, Rng& rng) {
+  // Two parallel chains with rungs (dual-plane backbone).
+  const int half = n / 2;
+  for (int i = 0; i + 1 < half; ++i) topo.connect(i, i + 1);
+  for (int i = half; i + 1 < n; ++i) topo.connect(i, i + 1);
+  const int rungs = std::max(1, half / 2);
+  for (int r = 0; r < rungs; ++r) {
+    const int i = static_cast<int>(rng.below(static_cast<std::uint64_t>(half)));
+    if (half + i < n) topo.connect(i, half + i);
+  }
+  // Stitch the planes at the ends so the graph is connected even with few rungs.
+  if (half >= 1 && half < n) topo.connect(0, half);
+}
+
+void buildSparseMesh(Topology& topo, int n, Rng& rng) {
+  // Random spanning tree + extra Waxman-ish edges (edge/node ratio ~1.25).
+  for (int v = 1; v < n; ++v) {
+    const int u = static_cast<int>(rng.below(static_cast<std::uint64_t>(v)));
+    topo.connect(u, v);
+  }
+  const int extra = n / 4;
+  std::set<std::pair<int, int>> used;
+  for (int e = 0; e < extra; ++e) {
+    const int u = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    const int v = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    auto key = std::minmax(u, v);
+    if (used.insert({key.first, key.second}).second) topo.connect(u, v);
+  }
+}
+
+}  // namespace
+
+int zooSize() { return 261; }
+
+std::vector<ZooEntry> zooCatalog() {
+  std::vector<ZooEntry> out;
+  out.reserve(static_cast<std::size_t>(zooSize()));
+  for (int i = 0; i < zooSize(); ++i) {
+    out.push_back(ZooEntry{strFormat("zoo-%03d", i), i});
+  }
+  return out;
+}
+
+Topology makeZooTopology(int index) {
+  assert(index >= 0 && index < zooSize());
+  Rng rng(0x5D7'2023ULL * 1000003ULL + static_cast<std::uint64_t>(index));
+  const int n = nodeCountFor(index, rng);
+  const Style style = styleFor(index, rng);
+  Topology topo(strFormat("zoo-%03d-%s-n%d", index, styleName(style), n), n);
+  switch (style) {
+    case Style::kChordedRing: buildChordedRing(topo, n, rng); break;
+    case Style::kHubSpoke: buildHubSpoke(topo, n, rng); break;
+    case Style::kLadder: buildLadder(topo, n, rng); break;
+    case Style::kSparseMesh: buildSparseMesh(topo, n, rng); break;
+  }
+  for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) topo.attachHost(sw);
+  return topo;
+}
+
+}  // namespace sdt::topo

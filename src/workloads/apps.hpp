@@ -1,0 +1,87 @@
+// Application models: the communication skeletons of the paper's workloads
+// (HPCG, HPL, miniGhost, miniFE, IMB Pingpong / Alltoall, §VI-D) expressed
+// as per-rank Op programs.
+//
+// The paper runs the real binaries on its testbed and replays collected
+// traces in its simulator; we generate the traces synthetically from each
+// application's published communication pattern, with compute gaps sized to
+// match the app's characteristic compute/communication ratio (that ratio is
+// what drives the Table IV speedup ordering: HPL most compute-bound, IMB
+// pure communication). Compute-gap constants are tunable per call.
+#pragma once
+
+#include "workloads/mpi.hpp"
+
+namespace sdt::workloads {
+
+// ---- Collective building blocks (appended to existing programs) ----------
+
+/// Pairwise-exchange all-to-all: n-1 phases, rank r sends to (r+p)%n and
+/// receives from (r-p+n)%n.
+void addAlltoall(std::vector<Program>& programs, std::int64_t msgBytes, int& tag);
+
+/// Ring allreduce: 2(n-1) chunked phases (reduce-scatter + allgather).
+/// Right algorithm for large payloads.
+void addRingAllreduce(std::vector<Program>& programs, std::int64_t totalBytes, int& tag);
+
+/// Recursive-doubling allreduce: log2(n) pairwise exchange rounds; the
+/// latency-optimal choice for small payloads (dot products). Falls back to
+/// the ring algorithm when n is not a power of two.
+void addSmallAllreduce(std::vector<Program>& programs, std::int64_t bytes, int& tag);
+
+/// Binomial-tree broadcast from `root`.
+void addBinomialBcast(std::vector<Program>& programs, int root, std::int64_t bytes,
+                      int& tag);
+
+/// 3D halo exchange over a process grid (px*py*pz == ranks): each rank
+/// exchanges a face with up to 6 neighbors.
+void addHaloExchange3D(std::vector<Program>& programs, int px, int py, int pz,
+                       std::int64_t faceBytes, int& tag);
+
+void addBarrier(std::vector<Program>& programs);
+void addCompute(std::vector<Program>& programs, TimeNs ns);
+
+// ---- IMB benchmarks -------------------------------------------------------
+
+/// IMB Pingpong between ranks 0 and 1 (other ranks idle): `iterations`
+/// round trips of `msgBytes` each. ACT/iteration is the RTT the Fig. 11
+/// latency experiment measures.
+Workload imbPingpong(int ranks, std::int64_t msgBytes, int iterations);
+
+/// IMB Alltoall: pure traffic, `iterations` rounds with a barrier between.
+Workload imbAlltoall(int ranks, std::int64_t msgBytes, int iterations);
+
+// ---- HPC applications -----------------------------------------------------
+
+struct HpcgParams {
+  int iterations = 12;
+  std::int64_t faceBytes = 64 * 64 * 8;  ///< 64^3 local grid, 8-byte faces
+  TimeNs computePerIteration = msToNs(6.0);  ///< SpMV+MG dominate
+};
+Workload hpcg(int ranks, const HpcgParams& params = {});
+
+struct HplParams {
+  int panels = 16;
+  std::int64_t panelBytes = 256 * 1024;        ///< broadcast panel
+  TimeNs computePerPanel = msToNs(42.0);       ///< trailing-matrix update
+};
+Workload hpl(int ranks, const HplParams& params = {});
+
+struct MiniGhostParams {
+  int iterations = 24;
+  std::int64_t faceBytes = 96 * 96 * 8;        ///< BSPMA halo, larger faces
+  TimeNs computePerIteration = msToNs(1.2);  ///< light stencil
+};
+Workload miniGhost(int ranks, const MiniGhostParams& params = {});
+
+struct MiniFeParams {
+  int cgIterations = 60;
+  std::int64_t haloBytes = 24 * 1024;
+  TimeNs computePerIteration = usToNs(40.0);   ///< sparse matvec
+};
+Workload miniFe(int ranks, const MiniFeParams& params = {});
+
+/// Factor `ranks` into the most cubic process grid px >= py >= pz.
+void processGrid3D(int ranks, int& px, int& py, int& pz);
+
+}  // namespace sdt::workloads

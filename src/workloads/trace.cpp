@@ -1,0 +1,109 @@
+#include "workloads/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace sdt::workloads {
+
+void writeTrace(std::ostream& out, const Workload& workload) {
+  out << "# workload " << workload.name << " ranks " << workload.numRanks() << "\n";
+  for (int r = 0; r < workload.numRanks(); ++r) {
+    out << "rank " << r << "\n";
+    for (const Op& op : workload.perRank[r]) {
+      switch (op.kind) {
+        case Op::Kind::kCompute:
+          out << "c " << op.bytesOrNs << "\n";
+          break;
+        case Op::Kind::kSend:
+          out << "s " << op.peer << " " << op.bytesOrNs << " " << op.tag << "\n";
+          break;
+        case Op::Kind::kRecv:
+          out << "r " << op.peer << " " << op.tag << "\n";
+          break;
+        case Op::Kind::kBarrier:
+          out << "b\n";
+          break;
+      }
+    }
+  }
+}
+
+Result<Workload> readTrace(std::istream& in) {
+  Workload w;
+  std::string line;
+  int currentRank = -1;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    std::istringstream ls{std::string(trimmed)};
+    const auto fail = [&](const char* why) {
+      return makeError(strFormat("trace line %d: %s", lineNo, why));
+    };
+    if (trimmed[0] == '#') {
+      // "# workload <name> ranks <n>"
+      std::string hash, kw, name, ranksKw;
+      int ranks = 0;
+      if (ls >> hash >> kw >> name >> ranksKw >> ranks && kw == "workload" && ranks > 0) {
+        w.name = name;
+        w.perRank.assign(static_cast<std::size_t>(ranks), Program{});
+      }
+      continue;
+    }
+    std::string cmd;
+    ls >> cmd;
+    if (cmd == "rank") {
+      if (!(ls >> currentRank) || currentRank < 0 ||
+          currentRank >= static_cast<int>(w.perRank.size())) {
+        return fail("bad rank header");
+      }
+      continue;
+    }
+    if (currentRank < 0) return fail("op before any 'rank' header");
+    Program& program = w.perRank[currentRank];
+    if (cmd == "c") {
+      std::int64_t ns = 0;
+      if (!(ls >> ns) || ns < 0) return fail("bad compute");
+      program.push_back(Op::compute(ns));
+    } else if (cmd == "s") {
+      std::int64_t bytes = 0;
+      int dst = 0, tag = 0;
+      if (!(ls >> dst >> bytes >> tag) || bytes <= 0 || dst < 0 ||
+          dst >= static_cast<int>(w.perRank.size())) {
+        return fail("bad send");
+      }
+      program.push_back(Op::send(dst, bytes, tag));
+    } else if (cmd == "r") {
+      int src = 0, tag = 0;
+      if (!(ls >> src >> tag) || src < -1 ||
+          src >= static_cast<int>(w.perRank.size())) {
+        return fail("bad recv");
+      }
+      program.push_back(Op::recv(src, tag));
+    } else if (cmd == "b") {
+      program.push_back(Op::barrier());
+    } else {
+      return fail("unknown op");
+    }
+  }
+  if (w.perRank.empty()) return makeError("trace has no workload header");
+  return w;
+}
+
+Status<Error> writeTraceFile(const std::string& path, const Workload& workload) {
+  std::ofstream out(path);
+  if (!out) return makeError("cannot open for writing: " + path);
+  writeTrace(out, workload);
+  return {};
+}
+
+Result<Workload> readTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return makeError("cannot open: " + path);
+  return readTrace(in);
+}
+
+}  // namespace sdt::workloads

@@ -1,0 +1,29 @@
+// Trace serialization: store and replay per-rank Op programs.
+//
+// The paper's simulator "uses the traces collected from running an HPC
+// application on real computing nodes" (§VI-A2). Our Workload objects *are*
+// such traces; this module round-trips them through a line-oriented text
+// format so experiments can be archived and replayed:
+//   # workload <name> ranks <n>
+//   rank <r>
+//   c <ns>            compute
+//   s <dst> <bytes> <tag>
+//   r <src> <tag>     (-1 src = wildcard)
+//   b                 barrier
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.hpp"
+#include "workloads/mpi.hpp"
+
+namespace sdt::workloads {
+
+void writeTrace(std::ostream& out, const Workload& workload);
+Result<Workload> readTrace(std::istream& in);
+
+Status<Error> writeTraceFile(const std::string& path, const Workload& workload);
+Result<Workload> readTraceFile(const std::string& path);
+
+}  // namespace sdt::workloads

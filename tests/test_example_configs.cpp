@@ -1,0 +1,64 @@
+// Integration: the JSON config files shipped under examples/configs must
+// parse, build, route, and project — they are the repo's user-facing
+// contract (paper Fig. 2's "configuration file" workflow).
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "controller/config.hpp"
+#include "controller/controller.hpp"
+
+namespace sdt::controller {
+namespace {
+
+std::string configDir() {
+  // Tests run from the build tree; the sources sit next to this file.
+  for (const char* candidate :
+       {"../examples/configs", "../../examples/configs", "examples/configs"}) {
+    if (std::ifstream(std::string(candidate) + "/fattree_k4.json").good()) {
+      return candidate;
+    }
+  }
+  return SDT_SOURCE_DIR "/examples/configs";
+}
+
+class ExampleConfigs : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExampleConfigs, LoadsDeploysAndRoutes) {
+  const std::string path = configDir() + "/" + GetParam();
+  auto config = loadExperimentConfig(path);
+  ASSERT_TRUE(config.ok()) << path << ": " << config.error().message;
+  const topo::Topology& topo = config.value().topology;
+  EXPECT_GT(topo.numSwitches(), 0);
+  EXPECT_TRUE(topo.validate(/*requireConnected=*/true).ok());
+
+  auto routing = routing::makeRouting(config.value().routingStrategy, topo);
+  ASSERT_TRUE(routing.ok()) << routing.error().message;
+
+  auto plant = projection::planPlant(
+      {&topo}, {.numSwitches = 2, .spec = projection::openflow128x100G()});
+  ASSERT_TRUE(plant.ok()) << plant.error().message;
+  SdtController ctl(plant.value());
+  DeployOptions opt;
+  opt.requireDeadlockFree = config.value().pfc;
+  auto dep = ctl.deploy(topo, *routing.value(), opt);
+  ASSERT_TRUE(dep.ok()) << dep.error().message;
+  EXPECT_GT(dep.value().totalFlowEntries, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shipped, ExampleConfigs,
+                         ::testing::Values("fattree_k4.json", "dragonfly.json",
+                                           "torus_5x5.json",
+                                           "custom_triangle.json"));
+
+TEST(ExampleConfigs, FabricKnobsApplied) {
+  auto config = loadExperimentConfig(configDir() + "/custom_triangle.json");
+  ASSERT_TRUE(config.ok());
+  sim::NetworkConfig net;
+  applyFabricKnobs(config.value(), net);
+  EXPECT_FALSE(net.pfcEnabled);   // the triangle config runs lossy
+  EXPECT_FALSE(net.ecnEnabled);
+}
+
+}  // namespace
+}  // namespace sdt::controller

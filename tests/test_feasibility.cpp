@@ -1,0 +1,129 @@
+// Tests: Table II models — projectable link speed, WAN counts, costs,
+// reconfiguration times.
+#include <gtest/gtest.h>
+
+#include "projection/feasibility.hpp"
+#include "topo/generators.hpp"
+
+namespace sdt::projection {
+namespace {
+
+HardwareBudget budget64() { return {openflow64x100G(), 3}; }
+HardwareBudget budget128() { return {openflow128x100G(), 3}; }
+HardwareBudget p4Budget64() { return {p4Switch64x100G(), 3}; }
+HardwareBudget p4Budget128() { return {p4Switch128x100G(), 3}; }
+
+TEST(Feasibility, FatTreeK4FullSpeedEverywhereButTurboNet) {
+  const topo::Topology ft = topo::makeFatTree(4);
+  EXPECT_DOUBLE_EQ(maxProjectableSpeed(TpMethod::kSDT, ft, budget128()).linkSpeed.value,
+                   100.0);
+  EXPECT_DOUBLE_EQ(maxProjectableSpeed(TpMethod::kSDT, ft, budget64()).linkSpeed.value,
+                   100.0);
+  EXPECT_DOUBLE_EQ(maxProjectableSpeed(TpMethod::kSP, ft, budget128()).linkSpeed.value,
+                   100.0);
+  // TurboNet halves the rate.
+  EXPECT_DOUBLE_EQ(
+      maxProjectableSpeed(TpMethod::kTurboNet, ft, p4Budget64()).linkSpeed.value, 50.0);
+  EXPECT_DOUBLE_EQ(
+      maxProjectableSpeed(TpMethod::kTurboNet, ft, p4Budget128()).linkSpeed.value, 50.0);
+}
+
+TEST(Feasibility, SpeedDegradesWithTopologySize) {
+  // Bigger fat-trees force deeper breakout: speed is monotonically
+  // non-increasing in topology size for a fixed budget.
+  const auto speedOf = [&](int k) {
+    return maxProjectableSpeed(TpMethod::kSDT, topo::makeFatTree(k), budget128());
+  };
+  const SpeedClass k4 = speedOf(4);
+  const SpeedClass k6 = speedOf(6);
+  const SpeedClass k8 = speedOf(8);
+  ASSERT_TRUE(k4.feasible && k6.feasible && k8.feasible);
+  EXPECT_GE(k4.linkSpeed.value, k6.linkSpeed.value);
+  EXPECT_GE(k6.linkSpeed.value, k8.linkSpeed.value);
+}
+
+TEST(Feasibility, TorusRowsMatchPaperOrdering) {
+  // 4x4x4 at full rate on 3x128; 5^3 and 6^3 degrade (paper: 100/50/25G).
+  const SpeedClass t4 = maxProjectableSpeed(TpMethod::kSDT, topo::makeTorus3D(4, 4, 4),
+                                            budget128());
+  const SpeedClass t5 = maxProjectableSpeed(TpMethod::kSDT, topo::makeTorus3D(5, 5, 5),
+                                            budget128());
+  const SpeedClass t6 = maxProjectableSpeed(TpMethod::kSDT, topo::makeTorus3D(6, 6, 6),
+                                            budget128());
+  ASSERT_TRUE(t4.feasible && t5.feasible && t6.feasible);
+  EXPECT_DOUBLE_EQ(t4.linkSpeed.value, 100.0);
+  EXPECT_DOUBLE_EQ(t5.linkSpeed.value, 50.0);
+  EXPECT_DOUBLE_EQ(t6.linkSpeed.value, 25.0);
+  // 6^3 does not fit the 64-port budget at >= 25G (paper: x).
+  EXPECT_FALSE(maxProjectableSpeed(TpMethod::kSDT, topo::makeTorus3D(6, 6, 6),
+                                   budget64()).feasible);
+}
+
+TEST(Feasibility, SdtAlwaysAtLeastMatchesTurboNet) {
+  for (const auto* name : {"ft4", "ft6", "df", "t4", "t5"}) {
+    topo::Topology t;
+    const std::string which = name;
+    if (which == "ft4") t = topo::makeFatTree(4);
+    if (which == "ft6") t = topo::makeFatTree(6);
+    if (which == "df") t = topo::makeDragonfly(4, 9, 2);
+    if (which == "t4") t = topo::makeTorus3D(4, 4, 4);
+    if (which == "t5") t = topo::makeTorus3D(5, 5, 5);
+    const SpeedClass sdt = maxProjectableSpeed(TpMethod::kSDT, t, budget128());
+    const SpeedClass turbo = maxProjectableSpeed(TpMethod::kTurboNet, t, p4Budget128());
+    if (turbo.feasible) {
+      ASSERT_TRUE(sdt.feasible) << which;
+      EXPECT_GE(sdt.linkSpeed.value, turbo.linkSpeed.value) << which;
+    }
+  }
+}
+
+TEST(Feasibility, WanCountsMatchTableII) {
+  // Paper bottom row: SP/SP-OS/SDT @128 -> 260; SDT@64 & TurboNet@128 -> 249;
+  // TurboNet@64 -> 248.
+  EXPECT_EQ(countProjectableWans(TpMethod::kSDT, budget128()), 260);
+  EXPECT_EQ(countProjectableWans(TpMethod::kSP, budget128()), 260);
+  EXPECT_EQ(countProjectableWans(TpMethod::kSPOS, budget128()), 260);
+  EXPECT_EQ(countProjectableWans(TpMethod::kSDT, budget64()), 249);
+  EXPECT_EQ(countProjectableWans(TpMethod::kTurboNet, p4Budget128()), 249);
+  EXPECT_EQ(countProjectableWans(TpMethod::kTurboNet, p4Budget64()), 248);
+}
+
+TEST(Feasibility, CostOrdering) {
+  // Paper: SDT cheapest, TurboNet pricier (P4), SP-OS most expensive (OCS).
+  const double sdt = hardwareCost(TpMethod::kSDT, budget128()).hardwareUsd;
+  const double sp = hardwareCost(TpMethod::kSP, budget128()).hardwareUsd;
+  const double turbo = hardwareCost(TpMethod::kTurboNet, p4Budget128()).hardwareUsd;
+  const double spos = hardwareCost(TpMethod::kSPOS, budget128()).hardwareUsd;
+  EXPECT_DOUBLE_EQ(sdt, sp);  // same switches; savings are in reconfig labor
+  EXPECT_LT(sdt, turbo);
+  EXPECT_LT(turbo, spos);
+}
+
+TEST(Feasibility, ReconfigurationTimeBands) {
+  // SP: ~45 s per manual cable move -> hours for 100+ cables.
+  EXPECT_GT(reconfigTime(TpMethod::kSP, 100), secToNs(3600.0));
+  // SP-OS and SDT stay within the 100ms~1s envelope for realistic sizes.
+  EXPECT_LE(reconfigTime(TpMethod::kSPOS, 200), secToNs(1.0));
+  EXPECT_GE(reconfigTime(TpMethod::kSPOS, 0), msToNs(100.0));
+  EXPECT_LE(reconfigTime(TpMethod::kSDT, 10000), secToNs(1.0));
+  EXPECT_GE(reconfigTime(TpMethod::kSDT, 1000), msToNs(100.0));
+  // TurboNet pays the P4 recompile.
+  EXPECT_GE(reconfigTime(TpMethod::kTurboNet, 0), secToNs(10.0));
+}
+
+TEST(Feasibility, InfeasibleCarriesReason) {
+  const SpeedClass r = maxProjectableSpeed(TpMethod::kSDT, topo::makeFatTree(8),
+                                           {openflow64x100G(), 1});
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(r.reason.empty());
+}
+
+TEST(Feasibility, MethodNames) {
+  EXPECT_STREQ(methodName(TpMethod::kSP), "SP");
+  EXPECT_STREQ(methodName(TpMethod::kSPOS), "SP-OS");
+  EXPECT_STREQ(methodName(TpMethod::kTurboNet), "TurboNet");
+  EXPECT_STREQ(methodName(TpMethod::kSDT), "SDT");
+}
+
+}  // namespace
+}  // namespace sdt::projection

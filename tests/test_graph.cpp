@@ -1,0 +1,71 @@
+// Unit tests: topo::Graph algorithms.
+#include <gtest/gtest.h>
+
+#include "topo/graph.hpp"
+
+namespace sdt::topo {
+namespace {
+
+Graph path(int n) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.addEdge(i, i + 1);
+  return g;
+}
+
+TEST(Graph, DegreesAndEdges) {
+  Graph g(3);
+  g.addEdge(0, 1, 2);
+  g.addEdge(1, 2, 3);
+  EXPECT_EQ(g.numEdges(), 2);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.weightedDegree(1), 5);
+  EXPECT_EQ(g.other(0, 0), 1);
+  EXPECT_EQ(g.other(0, 1), 0);
+}
+
+TEST(Graph, ParallelEdgesCounted) {
+  Graph g(2);
+  g.addEdge(0, 1);
+  g.addEdge(0, 1);
+  EXPECT_EQ(g.numEdges(), 2);
+  EXPECT_EQ(g.degree(0), 2);
+}
+
+TEST(Graph, BfsDistances) {
+  const Graph g = path(5);
+  const auto d = g.bfsDistances(0);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[4], 4);
+}
+
+TEST(Graph, UnreachableIsMinusOne) {
+  Graph g(3);
+  g.addEdge(0, 1);
+  const auto d = g.bfsDistances(0);
+  EXPECT_EQ(d[2], -1);
+  EXPECT_FALSE(g.isConnected());
+  EXPECT_EQ(g.componentCount(), 2);
+}
+
+TEST(Graph, Diameter) {
+  EXPECT_EQ(path(6).diameter(), 5);
+  Graph ring(6);
+  for (int i = 0; i < 6; ++i) ring.addEdge(i, (i + 1) % 6);
+  EXPECT_EQ(ring.diameter(), 3);
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_TRUE(g.isConnected());
+  EXPECT_EQ(g.diameter(), 0);
+  EXPECT_EQ(g.componentCount(), 0);
+}
+
+TEST(Graph, SingleVertex) {
+  Graph g(1);
+  EXPECT_TRUE(g.isConnected());
+  EXPECT_EQ(g.componentCount(), 1);
+}
+
+}  // namespace
+}  // namespace sdt::topo

@@ -1,0 +1,122 @@
+// Integration test: §VI-B hardware isolation — two unconnected logical
+// topologies deployed on ONE SDT plant; running traffic in both at once,
+// no host may ever sniff a packet from the other topology (the paper's
+// Wireshark experiment).
+#include <gtest/gtest.h>
+
+#include "controller/controller.hpp"
+#include "routing/shortest_path.hpp"
+#include "sim/builder.hpp"
+#include "sim/transport.hpp"
+#include "topo/generators.hpp"
+
+namespace sdt {
+namespace {
+
+TEST(Isolation, TwoTopologiesShareOnePlantWithoutCrosstalk) {
+  // One combined "topology" object holding two disconnected 4-switch lines:
+  // switches 0-3 + hosts 0-3 form network A; switches 4-7 + hosts 4-7 form
+  // network B. The controller deploys it as one projection; isolation must
+  // come from the flow tables alone.
+  topo::Topology both("two-islands", 8);
+  for (int i = 0; i + 1 < 4; ++i) both.connect(i, i + 1);
+  for (int i = 4; i + 1 < 8; ++i) both.connect(i, i + 1);
+  for (int sw = 0; sw < 8; ++sw) both.attachHost(sw);
+  ASSERT_TRUE(both.validate(/*requireConnected=*/false).ok());
+
+  routing::ShortestPathRouting routing(both);
+
+  projection::PlantConfig cfg;
+  cfg.numSwitches = 1;
+  cfg.spec = projection::openflow64x100G();
+  cfg.hostPortsPerSwitch = 8;
+  cfg.interLinksPerPair = 0;
+  auto plant = projection::buildPlant(cfg);
+  ASSERT_TRUE(plant.ok());
+
+  controller::SdtController ctl(plant.value());
+  controller::DeployOptions dopt;
+  dopt.requireDeadlockFree = false;  // disconnected graph: analysis per island
+  auto dep = ctl.deploy(both, routing, dopt);
+  ASSERT_TRUE(dep.ok()) << dep.error().message;
+
+  sim::Simulator sim;
+  auto built = sim::buildProjectedNetwork(sim, both, dep.value().projection,
+                                          plant.value(), dep.value().switches, {},
+                                          sim::CrossbarModel{2.0, 1.0});
+  sim::TransportManager transport(sim, *built.net, {});
+
+  // Sniffers on every host record the source of everything they see.
+  std::vector<std::vector<int>> seenSources(8);
+  for (int h = 0; h < 8; ++h) {
+    built.net->setSniffer(h, [&, h](const sim::Packet& p) {
+      seenSources[h].push_back(p.srcHost);
+    });
+  }
+
+  // Simultaneous pingpong-ish traffic inside each island.
+  int delivered = 0;
+  for (const auto& [src, dst] : {std::pair{0, 3}, std::pair{3, 0},
+                                 std::pair{4, 7}, std::pair{7, 4},
+                                 std::pair{1, 2}, std::pair{5, 6}}) {
+    transport.sendMessage(src, dst, 64 * 1024, 0,
+                          [&](std::uint64_t, TimeNs) { ++delivered; });
+  }
+  sim.run();
+  EXPECT_EQ(delivered, 6);
+
+  // The Wireshark check: hosts 0-3 only ever see sources 0-3; hosts 4-7
+  // only 4-7.
+  for (int h = 0; h < 8; ++h) {
+    for (const int src : seenSources[h]) {
+      EXPECT_EQ(h < 4, src < 4) << "host " << h << " sniffed a packet from " << src;
+    }
+  }
+  // And no packet vanished into the wrong island silently either: the only
+  // acceptable drops are none at all (lossless, correctly programmed).
+  EXPECT_EQ(built.net->totalDrops(), 0u);
+}
+
+TEST(Isolation, CrossIslandTrafficIsDroppedNotLeaked) {
+  // A host that *tries* to reach the other island (no route installed) must
+  // have its packets dropped at the first switch, never delivered.
+  topo::Topology both("two-islands-2", 4);
+  both.connect(0, 1);
+  both.connect(2, 3);
+  for (int sw = 0; sw < 4; ++sw) both.attachHost(sw);
+
+  routing::ShortestPathRouting routing(both);
+  projection::PlantConfig cfg;
+  cfg.numSwitches = 1;
+  cfg.spec = projection::openflow64x100G();
+  cfg.hostPortsPerSwitch = 4;
+  cfg.interLinksPerPair = 0;
+  auto plant = projection::buildPlant(cfg);
+  ASSERT_TRUE(plant.ok());
+  controller::SdtController ctl(plant.value());
+  auto dep = ctl.deploy(both, routing, {.requireDeadlockFree = false});
+  ASSERT_TRUE(dep.ok()) << dep.error().message;
+
+  sim::Simulator sim;
+  auto built = sim::buildProjectedNetwork(sim, both, dep.value().projection,
+                                          plant.value(), dep.value().switches, {},
+                                          sim::CrossbarModel{});
+  int sniffed = 0;
+  for (int h = 0; h < 4; ++h) {
+    built.net->setSniffer(h, [&](const sim::Packet&) { ++sniffed; });
+  }
+  // Raw cross-island packet (host 0 -> host 2), bypassing the transports.
+  sim::Packet p;
+  p.id = 1;
+  p.flowId = 1;
+  p.srcHost = 0;
+  p.dstHost = 2;
+  p.payloadBytes = 1000;
+  built.net->injectFromHost(0, p);
+  sim.run();
+  EXPECT_EQ(sniffed, 0);
+  EXPECT_EQ(built.net->totalDrops(), 1u);
+}
+
+}  // namespace
+}  // namespace sdt

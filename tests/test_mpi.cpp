@@ -1,0 +1,241 @@
+// Tests: MPI-like runtime semantics and the application generators.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "routing/shortest_path.hpp"
+#include "topo/generators.hpp"
+#include "sim/builder.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/mpi.hpp"
+
+namespace sdt::workloads {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  topo::Topology topo;
+  std::unique_ptr<routing::ShortestPathRouting> routing;
+  sim::BuiltNetwork built;
+  std::unique_ptr<sim::TransportManager> transport;
+
+  explicit Fixture(topo::Topology t) : topo(std::move(t)) {
+    routing = std::make_unique<routing::ShortestPathRouting>(topo);
+    built = sim::buildLogicalNetwork(sim, topo, *routing, {});
+    transport = std::make_unique<sim::TransportManager>(sim, *built.net, sim::TransportConfig{});
+  }
+
+  MpiRuntime runtime(int ranks) {
+    std::vector<int> map(static_cast<std::size_t>(ranks));
+    std::iota(map.begin(), map.end(), 0);
+    return MpiRuntime(sim, *transport, std::move(map));
+  }
+};
+
+TEST(Mpi, PingpongCompletes) {
+  Fixture f(topo::makeLine(2));
+  auto rt = f.runtime(2);
+  const Workload w = imbPingpong(2, 1024, 10);
+  rt.run(w);
+  f.sim.run();
+  ASSERT_TRUE(rt.finished());
+  EXPECT_GT(rt.completionTime(), 0);
+  EXPECT_EQ(rt.messagesSent(), 20);
+}
+
+TEST(Mpi, PingpongRttScalesWithIterations) {
+  Fixture f1(topo::makeLine(2));
+  auto rt1 = f1.runtime(2);
+  rt1.run(imbPingpong(2, 1024, 10));
+  f1.sim.run();
+  Fixture f2(topo::makeLine(2));
+  auto rt2 = f2.runtime(2);
+  rt2.run(imbPingpong(2, 1024, 20));
+  f2.sim.run();
+  ASSERT_TRUE(rt1.finished() && rt2.finished());
+  const double perIter1 = static_cast<double>(rt1.completionTime()) / 10;
+  const double perIter2 = static_cast<double>(rt2.completionTime()) / 20;
+  EXPECT_NEAR(perIter1, perIter2, perIter1 * 0.05);
+}
+
+TEST(Mpi, RecvBlocksUntilMessage) {
+  Fixture f(topo::makeLine(2));
+  auto rt = f.runtime(2);
+  Workload w;
+  w.name = "recv-blocks";
+  w.perRank.resize(2);
+  // Rank 1 computes for 1 ms before sending; rank 0's recv must wait.
+  w.perRank[1].push_back(Op::compute(msToNs(1.0)));
+  w.perRank[1].push_back(Op::send(0, 1024, 0));
+  w.perRank[0].push_back(Op::recv(1, 0));
+  rt.run(w);
+  f.sim.run();
+  ASSERT_TRUE(rt.finished());
+  EXPECT_GT(rt.completionTime(), msToNs(1.0));
+}
+
+TEST(Mpi, WildcardRecvMatchesAnySource) {
+  Fixture f(topo::makeLine(3));
+  auto rt = f.runtime(3);
+  Workload w;
+  w.name = "wildcard";
+  w.perRank.resize(3);
+  w.perRank[1].push_back(Op::send(0, 512, 7));
+  w.perRank[2].push_back(Op::send(0, 512, 7));
+  w.perRank[0].push_back(Op::recv(-1, 7));
+  w.perRank[0].push_back(Op::recv(-1, 7));
+  rt.run(w);
+  f.sim.run();
+  EXPECT_TRUE(rt.finished());
+}
+
+TEST(Mpi, OutOfOrderArrivalBuffered) {
+  Fixture f(topo::makeLine(2));
+  auto rt = f.runtime(2);
+  Workload w;
+  w.name = "ooo";
+  w.perRank.resize(2);
+  // Sender sends tags 1 then 2; receiver waits for 2 first, then 1: the
+  // tag-1 message must be buffered in the mailbox.
+  w.perRank[1].push_back(Op::send(0, 64 * 1024, 1));
+  w.perRank[1].push_back(Op::send(0, 64, 2));
+  w.perRank[0].push_back(Op::recv(1, 2));
+  w.perRank[0].push_back(Op::recv(1, 1));
+  rt.run(w);
+  f.sim.run();
+  EXPECT_TRUE(rt.finished());
+}
+
+TEST(Mpi, BarrierSynchronizesAllRanks) {
+  Fixture f(topo::makeLine(4));
+  auto rt = f.runtime(4);
+  Workload w;
+  w.name = "barrier";
+  w.perRank.resize(4);
+  // Rank 3 computes longest; everyone leaves the barrier after it.
+  for (int r = 0; r < 4; ++r) {
+    w.perRank[r].push_back(Op::compute(usToNs(10.0) * (r + 1)));
+    w.perRank[r].push_back(Op::barrier());
+  }
+  rt.run(w);
+  f.sim.run();
+  ASSERT_TRUE(rt.finished());
+  EXPECT_GE(rt.completionTime(), usToNs(40.0));
+}
+
+TEST(Mpi, ConsecutiveBarriers) {
+  Fixture f(topo::makeLine(3));
+  auto rt = f.runtime(3);
+  Workload w;
+  w.name = "barriers";
+  w.perRank.resize(3);
+  for (int r = 0; r < 3; ++r) {
+    for (int i = 0; i < 5; ++i) w.perRank[r].push_back(Op::barrier());
+  }
+  rt.run(w);
+  f.sim.run();
+  EXPECT_TRUE(rt.finished());
+}
+
+TEST(Apps, AlltoallDeliversAllMessages) {
+  Fixture f(topo::makeFullMesh(4));
+  auto rt = f.runtime(4);
+  const Workload w = imbAlltoall(4, 2048, 2);
+  rt.run(w);
+  f.sim.run();
+  ASSERT_TRUE(rt.finished());
+  // 2 iterations x 4 ranks x 3 peers.
+  EXPECT_EQ(rt.messagesSent(), 24);
+  EXPECT_EQ(w.totalSendBytes(), 24 * 2048);
+}
+
+TEST(Apps, CollectiveBuildingBlocksComplete) {
+  Fixture f(topo::makeFullMesh(8));
+  auto rt = f.runtime(8);
+  Workload w;
+  w.name = "collectives";
+  w.perRank.resize(8);
+  int tag = 0;
+  addRingAllreduce(w.perRank, 64 * 1024, tag);
+  addSmallAllreduce(w.perRank, 64, tag);
+  addBinomialBcast(w.perRank, 3, 32 * 1024, tag);
+  addBarrier(w.perRank);
+  rt.run(w);
+  f.sim.run();
+  EXPECT_TRUE(rt.finished());
+}
+
+TEST(Apps, HaloExchangeMatchesGridNeighbors) {
+  Fixture f(topo::makeFullMesh(8));
+  auto rt = f.runtime(8);
+  Workload w;
+  w.name = "halo";
+  w.perRank.resize(8);
+  int px, py, pz;
+  processGrid3D(8, px, py, pz);
+  EXPECT_EQ(px * py * pz, 8);
+  int tag = 0;
+  addHaloExchange3D(w.perRank, px, py, pz, 4096, tag);
+  rt.run(w);
+  f.sim.run();
+  EXPECT_TRUE(rt.finished());
+}
+
+TEST(Apps, ProcessGridIsNearCubic) {
+  int px, py, pz;
+  processGrid3D(32, px, py, pz);
+  EXPECT_EQ(px * py * pz, 32);
+  EXPECT_LE(px, 8);
+  processGrid3D(27, px, py, pz);
+  EXPECT_EQ(px, 3);
+  EXPECT_EQ(py, 3);
+  EXPECT_EQ(pz, 3);
+  processGrid3D(7, px, py, pz);  // prime
+  EXPECT_EQ(px, 7);
+  EXPECT_EQ(py * pz, 1);
+}
+
+class AppSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AppSweep, RunsToCompletionOnFatTree) {
+  const std::string which = GetParam();
+  Fixture f(topo::makeFatTree(4));  // 16 hosts
+  auto rt = f.runtime(16);
+  Workload w;
+  if (which == "hpcg") w = hpcg(16, {.iterations = 2, .faceBytes = 8192, .computePerIteration = usToNs(50)});
+  if (which == "hpl") w = hpl(16, {.panels = 3, .panelBytes = 64 * 1024, .computePerPanel = usToNs(80)});
+  if (which == "minighost") w = miniGhost(16, {.iterations = 2, .faceBytes = 8192, .computePerIteration = usToNs(30)});
+  if (which == "minife") w = miniFe(16, {.cgIterations = 3, .haloBytes = 4096, .computePerIteration = usToNs(10)});
+  if (which == "alltoall") w = imbAlltoall(16, 4096, 2);
+  if (which == "pingpong") w = imbPingpong(16, 4096, 20);
+  auto* routing = f.routing.get();
+  (void)routing;
+  rt.run(w);
+  f.sim.run();
+  EXPECT_TRUE(rt.finished()) << which;
+  EXPECT_GT(rt.completionTime(), 0) << which;
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, AppSweep,
+                         ::testing::Values("hpcg", "hpl", "minighost", "minife",
+                                           "alltoall", "pingpong"));
+
+TEST(Apps, ComputeCommRatioOrdering) {
+  // The Table IV speedup ordering rests on comm-fraction ordering:
+  // HPL most compute-heavy, then HPCG, miniGhost, miniFE; IMB pure comm.
+  const auto commPerComputeByte = [](const Workload& w) {
+    return static_cast<double>(w.totalSendBytes()) /
+           std::max<double>(1.0, static_cast<double>(w.totalComputeNs()));
+  };
+  const double rHpl = commPerComputeByte(hpl(32));
+  const double rHpcg = commPerComputeByte(hpcg(32));
+  const double rGhost = commPerComputeByte(miniGhost(32));
+  const double rFe = commPerComputeByte(miniFe(32));
+  EXPECT_LT(rHpl, rHpcg);
+  EXPECT_LT(rHpcg, rGhost);
+  EXPECT_LT(rGhost, rFe);
+  EXPECT_EQ(imbAlltoall(32, 4096, 1).totalComputeNs(), 0);
+}
+
+}  // namespace
+}  // namespace sdt::workloads

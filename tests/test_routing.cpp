@@ -1,0 +1,250 @@
+// Tests: routing algorithms (Table III) — all-pairs reachability, path
+// properties, and structural expectations per topology family.
+#include <gtest/gtest.h>
+
+#include "routing/adaptive.hpp"
+#include "routing/dragonfly.hpp"
+#include "routing/fat_tree.hpp"
+#include "routing/mesh_torus.hpp"
+#include "routing/routing.hpp"
+#include "routing/shortest_path.hpp"
+#include "topo/generators.hpp"
+
+namespace sdt::routing {
+namespace {
+
+/// Every host pair must be routable with a bounded path.
+void expectAllPairsRoutable(const topo::Topology& topo, const RoutingAlgorithm& algo,
+                            int maxHops) {
+  for (topo::HostId src = 0; src < topo.numHosts(); ++src) {
+    for (topo::HostId dst = 0; dst < topo.numHosts(); ++dst) {
+      if (topo.hostSwitch(src) == topo.hostSwitch(dst)) continue;
+      auto path = algo.tracePath(src, dst);
+      ASSERT_TRUE(path.ok()) << algo.name() << " " << src << "->" << dst << ": "
+                             << path.error().message;
+      ASSERT_LE(static_cast<int>(path.value().size()), maxHops + 1)
+          << algo.name() << " " << src << "->" << dst;
+    }
+  }
+}
+
+TEST(ShortestPath, LineIsDirect) {
+  const topo::Topology topo = topo::makeLine(8);
+  ShortestPathRouting algo(topo);
+  auto path = algo.tracePath(0, 7);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path.value().size(), 8u);  // all 8 switches
+}
+
+TEST(ShortestPath, AllPairsOnIrregularGraph) {
+  const topo::Topology topo = topo::makeStar(6);
+  ShortestPathRouting algo(topo);
+  expectAllPairsRoutable(topo, algo, 2);
+}
+
+TEST(ShortestPath, EcmpCandidatesAreEqualCost) {
+  const topo::Topology topo = topo::makeFatTree(4);
+  ShortestPathRouting algo(topo);
+  // From an edge switch to a remote pod there are k/2 = 2 uplinks.
+  const auto cands = algo.candidates(16, 12);  // edge sw, host in another pod
+  EXPECT_GE(cands.size(), 1u);
+}
+
+TEST(FatTree, CreateValidatesStructure) {
+  const topo::Topology ft = topo::makeFatTree(4);
+  EXPECT_TRUE(FatTreeRouting::create(ft).ok());
+  const topo::Topology notFt = topo::makeLine(20);
+  EXPECT_FALSE(FatTreeRouting::create(notFt).ok());
+}
+
+TEST(FatTree, LevelsAndPods) {
+  const topo::Topology ft = topo::makeFatTree(4);
+  auto algo = FatTreeRouting::create(ft);
+  ASSERT_TRUE(algo.ok());
+  const auto& r = *algo.value();
+  EXPECT_EQ(r.k(), 4);
+  EXPECT_EQ(r.levelOf(0), 0);   // core
+  EXPECT_EQ(r.levelOf(4), 1);   // first agg of pod 0
+  EXPECT_EQ(r.levelOf(6), 2);   // first edge of pod 0
+  EXPECT_EQ(r.podOf(6), 0);
+  EXPECT_EQ(r.podOf(8), 1);
+}
+
+class FatTreeRoutingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeRoutingSweep, AllPairsUpDown) {
+  const int k = GetParam();
+  const topo::Topology ft = topo::makeFatTree(k);
+  auto algo = FatTreeRouting::create(ft);
+  ASSERT_TRUE(algo.ok());
+  // Up*/down* paths are at most 4 switch-hops (edge-agg-core-agg-edge).
+  expectAllPairsRoutable(ft, *algo.value(), 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FatTreeRoutingSweep, ::testing::Values(4, 6));
+
+TEST(FatTree, EcmpSpreadsOverUplinks) {
+  const topo::Topology ft = topo::makeFatTree(4);
+  auto algo = FatTreeRouting::create(ft);
+  ASSERT_TRUE(algo.ok());
+  const auto ups = algo.value()->upCandidates(16, 0);  // edge sw in last pod
+  EXPECT_EQ(ups.size(), 2u);
+  // Different hashes select different uplinks at least once.
+  auto h0 = algo.value()->nextHop(16, 0, 0, 0);
+  auto h1 = algo.value()->nextHop(16, 0, 0, 1);
+  ASSERT_TRUE(h0.ok() && h1.ok());
+  EXPECT_NE(h0.value().outPort, h1.value().outPort);
+}
+
+TEST(Dragonfly, MinimalPathsAtMostLGL) {
+  const topo::Topology df = topo::makeDragonfly(4, 9, 2);
+  auto algo = DragonflyMinimalRouting::create(df);
+  ASSERT_TRUE(algo.ok()) << algo.error().message;
+  // Minimal dragonfly: local, global, local = 4 switches max on the path.
+  expectAllPairsRoutable(df, *algo.value(), 3);
+}
+
+TEST(Dragonfly, VcBumpsExactlyOnGlobalHop) {
+  const topo::Topology df = topo::makeDragonfly(4, 9, 2);
+  auto algo = DragonflyMinimalRouting::create(df);
+  ASSERT_TRUE(algo.ok());
+  const auto& r = *algo.value();
+  // Host 0 (router 0, group 0) -> host in group 5.
+  const topo::HostId dst = 5 * 4;  // router 20's host
+  topo::SwitchId sw = 0;
+  int vc = 0;
+  int globalHops = 0;
+  for (int i = 0; i < 4 && sw != df.hostSwitch(dst); ++i) {
+    auto hop = r.nextHop(sw, dst, vc, 0);
+    ASSERT_TRUE(hop.ok());
+    const auto peer = df.neighborOf(topo::SwitchPort{sw, hop.value().outPort});
+    ASSERT_TRUE(peer.has_value());
+    const bool global = r.groupOf(peer->sw) != r.groupOf(sw);
+    if (global) {
+      ++globalHops;
+      EXPECT_EQ(hop.value().vc, 1);  // VC bump on the global hop
+    }
+    sw = peer->sw;
+    vc = hop.value().vc;
+  }
+  EXPECT_EQ(globalHops, 1);
+  EXPECT_EQ(sw, df.hostSwitch(dst));
+}
+
+TEST(Dragonfly, RejectsNonDragonfly) {
+  const topo::Topology line = topo::makeLine(8);
+  EXPECT_FALSE(DragonflyMinimalRouting::create(line).ok());
+}
+
+class DorSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DorSweep, AllPairsDimensionOrder) {
+  const std::string which = GetParam();
+  topo::Topology t;
+  int maxHops = 0;
+  if (which == "mesh2d") {
+    t = topo::makeMesh2D(4, 4);
+    maxHops = 6;
+  } else if (which == "mesh3d") {
+    t = topo::makeMesh3D(3, 3, 3);
+    maxHops = 6;
+  } else if (which == "torus2d") {
+    t = topo::makeTorus2D(5, 5);
+    maxHops = 4;
+  } else {
+    t = topo::makeTorus3D(4, 4, 4);
+    maxHops = 6;
+  }
+  auto algo = DimensionOrderRouting::create(t);
+  ASSERT_TRUE(algo.ok()) << algo.error().message;
+  expectAllPairsRoutable(t, *algo.value(), maxHops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, DorSweep,
+                         ::testing::Values("mesh2d", "mesh3d", "torus2d", "torus3d"));
+
+TEST(Dor, TorusTakesShorterRingDirection) {
+  const topo::Topology t = topo::makeTorus2D(5, 5);
+  auto algo = DimensionOrderRouting::create(t);
+  ASSERT_TRUE(algo.ok());
+  // From (0,0) to (4,0): backward through the wraparound (1 hop), not 4.
+  auto path = algo.value()->tracePath(0, 4);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path.value().size(), 2u);
+}
+
+TEST(Dor, MeshNeedsOneVc) {
+  const topo::Topology t = topo::makeMesh2D(4, 4);
+  auto algo = DimensionOrderRouting::create(t);
+  ASSERT_TRUE(algo.ok());
+  EXPECT_EQ(algo.value()->numVcs(), 1);
+  EXPECT_EQ(algo.value()->name(), "mesh-xy");
+}
+
+TEST(Dor, TorusUsesDatelineVcs) {
+  const topo::Topology t = topo::makeTorus3D(4, 4, 4);
+  auto algo = DimensionOrderRouting::create(t);
+  ASSERT_TRUE(algo.ok());
+  EXPECT_EQ(algo.value()->numVcs(), 6);  // 2 per dimension
+  EXPECT_EQ(algo.value()->name(), "torus-clue");
+}
+
+TEST(Adaptive, MinimalWhenUncongested) {
+  const topo::Topology df = topo::makeDragonfly(4, 9, 2);
+  auto algo = AdaptiveDragonflyRouting::create(df);
+  ASSERT_TRUE(algo.ok());
+  // No oracle -> zero loads -> identical to minimal routing.
+  auto minimal = DragonflyMinimalRouting::create(df);
+  ASSERT_TRUE(minimal.ok());
+  for (topo::HostId dst = 0; dst < df.numHosts(); dst += 7) {
+    for (topo::SwitchId sw = 0; sw < df.numSwitches(); sw += 5) {
+      if (df.hostSwitch(dst) == sw) continue;
+      auto a = algo.value()->nextHop(sw, dst, 0, 3);
+      auto m = minimal.value()->nextHop(sw, dst, 0, 3);
+      ASSERT_TRUE(a.ok() && m.ok());
+      EXPECT_EQ(a.value().outPort, m.value().outPort);
+    }
+  }
+}
+
+TEST(Adaptive, DetoursUnderCongestion) {
+  const topo::Topology df = topo::makeDragonfly(4, 9, 2);
+  auto algo = AdaptiveDragonflyRouting::create(df);
+  ASSERT_TRUE(algo.ok());
+  auto minimal = DragonflyMinimalRouting::create(df);
+  ASSERT_TRUE(minimal.ok());
+  // Oracle: the minimal out-port at router 0 toward group 5 is saturated.
+  const topo::HostId dst = 5 * 4;
+  auto minHop = minimal.value()->nextHop(0, dst, 0, 1);
+  ASSERT_TRUE(minHop.ok());
+  algo.value()->setCongestionOracle(
+      [&](topo::SwitchId sw, topo::PortId port) {
+        return (sw == 0 && port == minHop.value().outPort) ? 1e9 : 0.0;
+      });
+  auto hop = algo.value()->nextHop(0, dst, 0, 1);
+  ASSERT_TRUE(hop.ok());
+  EXPECT_NE(hop.value().outPort, minHop.value().outPort);
+  // Valiant paths still terminate for every pair even when forced.
+  algo.value()->setBias(-1.0);  // always prefer the detour
+  algo.value()->setCongestionOracle(
+      [](topo::SwitchId, topo::PortId) { return 1.0; });
+  expectAllPairsRoutable(df, *algo.value(), 6);
+}
+
+TEST(Factory, KnownStrategies) {
+  const topo::Topology ft = topo::makeFatTree(4);
+  EXPECT_TRUE(makeRouting("fattree-dfs", ft).ok());
+  EXPECT_TRUE(makeRouting("shortest", ft).ok());
+  const topo::Topology df = topo::makeDragonfly(4, 9, 2);
+  EXPECT_TRUE(makeRouting("dragonfly-minimal", df).ok());
+  EXPECT_TRUE(makeRouting("dragonfly-adaptive", df).ok());
+  const topo::Topology t2 = topo::makeTorus2D(5, 5);
+  EXPECT_TRUE(makeRouting("torus-clue", t2).ok());
+  EXPECT_FALSE(makeRouting("bogus", ft).ok());
+  // Mismatched strategy/topology pairs fail cleanly.
+  EXPECT_FALSE(makeRouting("dragonfly-minimal", ft).ok());
+  EXPECT_FALSE(makeRouting("mesh-xy", df).ok());
+}
+
+}  // namespace
+}  // namespace sdt::routing

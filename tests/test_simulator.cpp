@@ -1,0 +1,77 @@
+// Tests: discrete-event core.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace sdt::sim {
+namespace {
+
+TEST(Simulator, RunsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&]() { order.push_back(3); });
+  sim.schedule(10, [&]() { order.push_back(1); });
+  sim.schedule(20, [&]() { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.eventsProcessed(), 3u);
+}
+
+TEST(Simulator, FifoForSameTimestamp) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(7, [&, i]() { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  Time innerTime = -1;
+  sim.schedule(5, [&]() {
+    sim.schedule(10, [&]() { innerTime = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(innerTime, 15);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&]() { ++fired; });
+  sim.schedule(100, [&]() { ++fired; });
+  sim.runUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1, [&]() {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule(2, [&]() { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ZeroDelayRunsNow) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule(0, [&]() { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+}  // namespace
+}  // namespace sdt::sim

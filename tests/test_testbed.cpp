@@ -1,0 +1,143 @@
+// Integration tests: the evaluation harness — SDT vs full-testbed ACT
+// equivalence (the paper's central accuracy claim) and the comparison math.
+#include <gtest/gtest.h>
+
+#include "projection/plant.hpp"
+#include "routing/dragonfly.hpp"
+#include "routing/shortest_path.hpp"
+#include "testbed/evaluator.hpp"
+#include "topo/generators.hpp"
+#include "workloads/apps.hpp"
+
+namespace sdt::testbed {
+namespace {
+
+projection::Plant paperPlant(int switches = 3, int hostPorts = 14, int inter = 14) {
+  projection::PlantConfig cfg;
+  cfg.numSwitches = switches;
+  cfg.spec = projection::openflow64x100G();
+  cfg.hostPortsPerSwitch = hostPorts;
+  cfg.interLinksPerPair = inter;
+  auto p = projection::buildPlant(cfg);
+  EXPECT_TRUE(p.ok());
+  return std::move(p).value();
+}
+
+/// Auto-sized plant (paper's 3-box cluster class) for one topology.
+projection::Plant plannedPlant(const topo::Topology& topo, int switches = 3,
+                               projection::PhysicalSwitchSpec spec =
+                                   projection::h3cS6861()) {
+  auto p = projection::planPlant({&topo}, {.numSwitches = switches, .spec = spec});
+  EXPECT_TRUE(p.ok()) << p.error().message;
+  return std::move(p).value();
+}
+
+TEST(Testbed, SdtActMatchesFullTestbedWithinPaperBand) {
+  // Fig. 11 / Table IV accuracy claim: |deviation| small and positive-ish
+  // (crossbar sharing only adds latency).
+  const topo::Topology topo = topo::makeLine(8);
+  routing::ShortestPathRouting routing(topo);
+  InstanceOptions opt;
+
+  auto full = makeFullTestbed(topo, routing, opt);
+  const workloads::Workload w = workloads::imbPingpong(8, 4096, 50);
+  const std::vector<int> map{0, 7, 1, 2, 3, 4, 5, 6};
+  const RunResult fullRun = runWorkload(full, w, map);
+
+  auto sdt = makeSdt(topo, routing, paperPlant(2, 8, 8), opt);
+  ASSERT_TRUE(sdt.ok()) << sdt.error().message;
+  const RunResult sdtRun = runWorkload(sdt.value(), w, map);
+
+  ASSERT_GT(fullRun.act, 0);
+  const double deviation =
+      static_cast<double>(sdtRun.act - fullRun.act) / static_cast<double>(fullRun.act);
+  EXPECT_GT(deviation, 0.0) << "crossbar sharing must not speed things up";
+  EXPECT_LT(deviation, 0.03) << "overhead above the paper's ~2% band";
+  EXPECT_EQ(sdtRun.drops, 0u);
+  EXPECT_EQ(fullRun.drops, 0u);
+}
+
+TEST(Testbed, OverheadShrinksWithMessageSize) {
+  // Fig. 11's trend: relative overhead decreases as messages grow.
+  const topo::Topology topo = topo::makeLine(8);
+  routing::ShortestPathRouting routing(topo);
+  InstanceOptions opt;
+  const std::vector<int> map{0, 7, 1, 2, 3, 4, 5, 6};
+  double smallOverhead = 0.0, largeOverhead = 0.0;
+  for (const auto& [bytes, iters, out] :
+       {std::tuple{256LL, 40, &smallOverhead}, std::tuple{262144LL, 10, &largeOverhead}}) {
+    auto full = makeFullTestbed(topo, routing, opt);
+    auto sdt = makeSdt(topo, routing, paperPlant(2, 8, 8), opt);
+    ASSERT_TRUE(sdt.ok());
+    const workloads::Workload w = workloads::imbPingpong(8, bytes, iters);
+    const RunResult fr = runWorkload(full, w, map);
+    const RunResult sr = runWorkload(sdt.value(), w, map);
+    *out = static_cast<double>(sr.act - fr.act) / static_cast<double>(fr.act);
+  }
+  EXPECT_GT(smallOverhead, largeOverhead);
+}
+
+TEST(Testbed, DeployTimeWithinTableIIBand) {
+  const topo::Topology topo = topo::makeDragonfly(4, 9, 2);
+  auto routing = routing::DragonflyMinimalRouting::create(topo);
+  ASSERT_TRUE(routing.ok());
+  auto sdt = makeSdt(topo, *routing.value(), plannedPlant(topo), {});
+  ASSERT_TRUE(sdt.ok()) << sdt.error().message;
+  EXPECT_GE(sdt.value().deployTime, msToNs(100.0));
+  EXPECT_LE(sdt.value().deployTime, secToNs(1.0));
+}
+
+TEST(Testbed, ComparisonArithmetic) {
+  RunResult sdtRun;
+  sdtRun.act = msToNs(10.0);
+  RunResult fullRun;
+  fullRun.act = msToNs(10.0);
+  fullRun.fabricTxBytes = 100 * kMiB;
+  fullRun.avgComputePerRank = msToNs(2.0);
+  const Comparison c = compare(sdtRun, msToNs(200.0), fullRun, 36, /*scaleK=*/1.0);
+  EXPECT_NEAR(c.sdtEvalSeconds, 0.210, 1e-9);
+  EXPECT_NEAR(c.fullTestbedEvalSeconds, 0.010, 1e-9);
+  EXPECT_DOUBLE_EQ(c.actDeviation, 0.0);
+  EXPECT_GT(c.simulatorEvalSeconds, c.sdtEvalSeconds);
+  // Scaling K multiplies ACT/simulator terms but not the deploy time, so the
+  // speedup grows toward its asymptote.
+  const Comparison c10 = compare(sdtRun, msToNs(200.0), fullRun, 36, /*scaleK=*/10.0);
+  EXPECT_GT(c10.speedupVsSimulator, c.speedupVsSimulator);
+}
+
+TEST(Testbed, SimulatorModelChargesTrafficAndActiveTime) {
+  SimulatorCostModel model;
+  RunResult quiet;  // compute-only run: no traffic, act == compute
+  quiet.act = msToNs(5.0);
+  quiet.avgComputePerRank = msToNs(5.0);
+  EXPECT_DOUBLE_EQ(model.wallNs(quiet, 36), 0.0);
+  RunResult busy = quiet;
+  busy.fabricTxBytes = kMiB;
+  busy.avgComputePerRank = 0;
+  EXPECT_GT(model.wallNs(busy, 36), 0.0);
+  // More switches -> slower cycle-accurate simulation.
+  EXPECT_GT(model.wallNs(busy, 72), model.wallNs(busy, 36));
+}
+
+TEST(Testbed, FullAndSdtSeeSameMessageCount) {
+  const topo::Topology topo = topo::makeDragonfly(4, 9, 2);
+  auto routing = routing::DragonflyMinimalRouting::create(topo);
+  ASSERT_TRUE(routing.ok());
+  InstanceOptions opt;
+  const workloads::Workload w = workloads::imbAlltoall(8, 4096, 1);
+  auto full = makeFullTestbed(topo, *routing.value(), opt);
+  auto sdt = makeSdt(topo, *routing.value(), plannedPlant(topo), opt);
+  ASSERT_TRUE(sdt.ok()) << sdt.error().message;
+  const RunResult fr = runWorkload(full, w);
+  const RunResult sr = runWorkload(sdt.value(), w);
+  EXPECT_EQ(fr.injectedBytes, sr.injectedBytes);
+  EXPECT_EQ(fr.drops, 0u);
+  EXPECT_EQ(sr.drops, 0u);
+  // ACT deviation within the paper's +-3% Table IV band.
+  const double dev = std::abs(static_cast<double>(sr.act - fr.act)) /
+                     static_cast<double>(fr.act);
+  EXPECT_LT(dev, 0.03);
+}
+
+}  // namespace
+}  // namespace sdt::testbed

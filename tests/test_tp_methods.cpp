@@ -1,0 +1,99 @@
+// Tests: SP / SP-OS / TurboNet baseline projectors (paper §III, §VI-C).
+#include <gtest/gtest.h>
+
+#include "projection/link_projector.hpp"
+#include "projection/switch_projector.hpp"
+#include "projection/turbonet.hpp"
+#include "topo/generators.hpp"
+
+namespace sdt::projection {
+namespace {
+
+TEST(SwitchProjection, BuildsCablePlan) {
+  const topo::Topology topo = topo::makeLine(8);
+  auto sp = SwitchProjector::project(topo, openflow64x100G(), 1);
+  ASSERT_TRUE(sp.ok()) << sp.error().message;
+  // One cable per fabric link.
+  EXPECT_EQ(sp.value().cables.cables.size(), 7u);
+  EXPECT_TRUE(sp.value().projection.validate(topo, sp.value().plant).ok());
+}
+
+TEST(SwitchProjection, PortBudgetEnforced) {
+  const topo::Topology topo = topo::makeFatTree(6);  // 216 fabric + 54 host ports
+  auto sp = SwitchProjector::project(topo, openflow64x100G(), 1);
+  EXPECT_FALSE(sp.ok());
+  // Three 128-port switches fit (270 ports total demand).
+  auto sp3 = SwitchProjector::project(topo, openflow128x100G(), 3);
+  EXPECT_TRUE(sp3.ok()) << sp3.error().message;
+}
+
+TEST(SwitchProjection, CableMovesBetweenTopologies) {
+  const topo::Topology a = topo::makeLine(6);
+  const topo::Topology b = topo::makeRing(6);
+  auto pa = SwitchProjector::project(a, openflow64x100G(), 1);
+  auto pb = SwitchProjector::project(b, openflow64x100G(), 1);
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  const int moves = pb.value().cables.movesFrom(pa.value().cables);
+  EXPECT_GT(moves, 0);  // reconfiguring SP requires manual moves...
+  EXPECT_LE(moves, 6);
+  // ...identical topologies need none.
+  EXPECT_EQ(pa.value().cables.movesFrom(pa.value().cables), 0);
+}
+
+TEST(SwitchProjection, OpticalCapacity) {
+  const topo::Topology topo = topo::makeDragonfly(4, 9, 2);  // 90 fabric links
+  auto sp = SwitchProjector::project(topo, openflow128x100G(), 2);
+  ASSERT_TRUE(sp.ok());
+  // 90 cables need 180 OCS ports: a 320-port MEMS suffices...
+  EXPECT_TRUE(SwitchProjector::checkOpticalCapacity(sp.value(), mems320()).ok());
+  // ...a 128-port one does not.
+  OpticalSwitchSpec small = mems320();
+  small.numPorts = 128;
+  EXPECT_FALSE(SwitchProjector::checkOpticalCapacity(sp.value(), small).ok());
+}
+
+TEST(TurboNet, RequiresP4Switch) {
+  const topo::Topology topo = topo::makeLine(4);
+  EXPECT_FALSE(TurboNetProjector::project(topo, openflow64x100G(), 1).ok());
+}
+
+TEST(TurboNet, HalvesBandwidthAndLoopbackPool) {
+  const topo::Topology topo = topo::makeLine(8);
+  TurboNetOptions opt;
+  opt.hostPortsPerSwitch = 8;
+  auto tn = TurboNetProjector::project(topo, p4Switch64x100G(), 1, opt);
+  ASSERT_TRUE(tn.ok()) << tn.error().message;
+  EXPECT_DOUBLE_EQ(tn.value().effectiveLinkSpeed.value, 50.0);
+  // Loopback pool = half the self-link pairs of the equivalent SDT plant.
+  PlantConfig cfg;
+  cfg.numSwitches = 1;
+  cfg.spec = p4Switch64x100G();
+  cfg.hostPortsPerSwitch = 8;
+  cfg.interLinksPerPair = 0;
+  const auto sdtPlant = buildPlant(cfg);
+  ASSERT_TRUE(sdtPlant.ok());
+  EXPECT_EQ(tn.value().plant.selfLinks.size(), sdtPlant.value().selfLinks.size() / 2);
+}
+
+TEST(TurboNet, LoopbackPoolLimitsScale) {
+  // 64-port P4 switch: 8 host ports -> 28 self pairs -> 14 usable loopbacks.
+  // A 16-switch ring (16 links) needs 16 > 14: must fail on one switch.
+  TurboNetOptions opt;
+  opt.hostPortsPerSwitch = 8;
+  const topo::Topology ring = topo::makeRing(16, {.hostsPerSwitch = 0, .linkSpeed = Gbps{10}});
+  auto tn = TurboNetProjector::project(ring, p4Switch64x100G(), 1, opt);
+  EXPECT_FALSE(tn.ok());
+  // The same ring fits the SDT plant (28 self-links available).
+  PlantConfig cfg;
+  cfg.numSwitches = 1;
+  cfg.spec = openflow64x100G();
+  cfg.hostPortsPerSwitch = 8;
+  cfg.interLinksPerPair = 0;
+  auto plant = buildPlant(cfg);
+  ASSERT_TRUE(plant.ok());
+  EXPECT_TRUE(LinkProjector::project(ring, plant.value()).ok());
+}
+
+}  // namespace
+}  // namespace sdt::projection

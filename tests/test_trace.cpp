@@ -1,0 +1,89 @@
+// Tests: trace serialization round-trip (§VI-A2 trace-driven evaluation).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workloads/apps.hpp"
+#include "workloads/trace.hpp"
+
+namespace sdt::workloads {
+namespace {
+
+bool sameWorkload(const Workload& a, const Workload& b) {
+  if (a.numRanks() != b.numRanks()) return false;
+  for (int r = 0; r < a.numRanks(); ++r) {
+    if (a.perRank[r].size() != b.perRank[r].size()) return false;
+    for (std::size_t i = 0; i < a.perRank[r].size(); ++i) {
+      const Op& x = a.perRank[r][i];
+      const Op& y = b.perRank[r][i];
+      if (x.kind != y.kind || x.bytesOrNs != y.bytesOrNs || x.peer != y.peer ||
+          x.tag != y.tag) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(Trace, RoundTripPingpong) {
+  const Workload w = imbPingpong(2, 4096, 3);
+  std::stringstream ss;
+  writeTrace(ss, w);
+  auto back = readTrace(ss);
+  ASSERT_TRUE(back.ok()) << back.error().message;
+  EXPECT_TRUE(sameWorkload(w, back.value()));
+  EXPECT_EQ(back.value().name, w.name);
+}
+
+TEST(Trace, RoundTripAllApps) {
+  for (const Workload& w :
+       {hpcg(8, {.iterations = 1, .faceBytes = 1024, .computePerIteration = 10}),
+        hpl(8, {.panels = 2, .panelBytes = 2048, .computePerPanel = 10}),
+        miniGhost(8, {.iterations = 1, .faceBytes = 512, .computePerIteration = 5}),
+        imbAlltoall(8, 256, 1)}) {
+    std::stringstream ss;
+    writeTrace(ss, w);
+    auto back = readTrace(ss);
+    ASSERT_TRUE(back.ok()) << w.name << ": " << back.error().message;
+    EXPECT_TRUE(sameWorkload(w, back.value())) << w.name;
+  }
+}
+
+TEST(Trace, RejectsMalformedInput) {
+  const auto tryParse = [](const std::string& text) {
+    std::stringstream ss(text);
+    return readTrace(ss);
+  };
+  EXPECT_FALSE(tryParse("").ok());                                // no header
+  EXPECT_FALSE(tryParse("# workload x ranks 2\nc 10\n").ok());    // op before rank
+  EXPECT_FALSE(tryParse("# workload x ranks 2\nrank 5\n").ok());  // bad rank
+  EXPECT_FALSE(tryParse("# workload x ranks 2\nrank 0\ns 9 100 0\n").ok());  // bad dst
+  EXPECT_FALSE(tryParse("# workload x ranks 2\nrank 0\nq\n").ok());  // unknown op
+  EXPECT_FALSE(tryParse("# workload x ranks 2\nrank 0\nc -5\n").ok());  // negative
+}
+
+TEST(Trace, FileRoundTrip) {
+  const Workload w = imbAlltoall(4, 128, 1);
+  const std::string path = ::testing::TempDir() + "/sdt_trace_test.txt";
+  ASSERT_TRUE(writeTraceFile(path, w).ok());
+  auto back = readTraceFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(sameWorkload(w, back.value()));
+  EXPECT_FALSE(readTraceFile("/nonexistent/path").ok());
+}
+
+TEST(Trace, WildcardRecvSurvivesRoundTrip) {
+  Workload w;
+  w.name = "wild";
+  w.perRank.resize(2);
+  w.perRank[0].push_back(Op::recv(-1, 3));
+  w.perRank[1].push_back(Op::send(0, 100, 3));
+  std::stringstream ss;
+  writeTrace(ss, w);
+  auto back = readTrace(ss);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().perRank[0][0].peer, -1);
+}
+
+}  // namespace
+}  // namespace sdt::workloads

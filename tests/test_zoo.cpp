@@ -1,0 +1,70 @@
+// Tests: synthetic Topology Zoo catalog (Table II WAN substitution).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topo/zoo.hpp"
+
+namespace sdt::topo {
+namespace {
+
+TEST(Zoo, CatalogSizeMatchesPaper) {
+  EXPECT_EQ(zooSize(), 261);
+  EXPECT_EQ(zooCatalog().size(), 261u);
+}
+
+TEST(Zoo, Deterministic) {
+  const Topology a = makeZooTopology(17);
+  const Topology b = makeZooTopology(17);
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.numLinks(), b.numLinks());
+  ASSERT_EQ(a.numSwitches(), b.numSwitches());
+  for (int i = 0; i < a.numLinks(); ++i) {
+    EXPECT_EQ(a.link(i).a, b.link(i).a);
+    EXPECT_EQ(a.link(i).b, b.link(i).b);
+  }
+}
+
+TEST(Zoo, AllEntriesValidAndConnected) {
+  for (int i = 0; i < zooSize(); ++i) {
+    const Topology t = makeZooTopology(i);
+    ASSERT_TRUE(t.validate(/*requireConnected=*/true).ok())
+        << "entry " << i << " (" << t.name() << ")";
+    ASSERT_GE(t.numSwitches(), 4) << t.name();
+    ASSERT_EQ(t.numHosts(), t.numSwitches()) << t.name();
+  }
+}
+
+TEST(Zoo, SizeDistributionMatchesZooStats) {
+  std::vector<int> sizes;
+  for (int i = 0; i < zooSize(); ++i) sizes.push_back(makeZooTopology(i).numSwitches());
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes.back(), 754);               // the "Kdl"-sized giant
+  EXPECT_GE(sizes.front(), 4);                // Zoo minimum
+  const int median = sizes[sizes.size() / 2];
+  EXPECT_GE(median, 10);
+  EXPECT_LE(median, 35);                      // Zoo median ~21
+}
+
+TEST(Zoo, TailBandsForTableII) {
+  // Exactly one entry above 768 edges, exactly 12 above 384 (incl. giant),
+  // exactly 13 above 192: these bands drive the 260/249/249/248 WAN row.
+  int over768 = 0, over384 = 0, over192 = 0;
+  for (int i = 0; i < zooSize(); ++i) {
+    const int edges = makeZooTopology(i).numLinks();
+    over768 += edges > 768;
+    over384 += edges > 384;
+    over192 += edges > 192;
+  }
+  EXPECT_EQ(over768, 1);
+  EXPECT_EQ(over384, 12);
+  EXPECT_EQ(over192, 13);
+}
+
+TEST(Zoo, IndexBoundsAsserted) {
+  EXPECT_NO_THROW(makeZooTopology(0));
+  EXPECT_NO_THROW(makeZooTopology(260));
+}
+
+}  // namespace
+}  // namespace sdt::topo
