@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_crossbar.dir/bench_ablation_crossbar.cpp.o"
+  "CMakeFiles/bench_ablation_crossbar.dir/bench_ablation_crossbar.cpp.o.d"
+  "bench_ablation_crossbar"
+  "bench_ablation_crossbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_microbench.dir/bench_engine_microbench.cpp.o"
+  "CMakeFiles/bench_engine_microbench.dir/bench_engine_microbench.cpp.o.d"
+  "bench_engine_microbench"
+  "bench_engine_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6e_active_routing.dir/bench_sec6e_active_routing.cpp.o"
+  "CMakeFiles/bench_sec6e_active_routing.dir/bench_sec6e_active_routing.cpp.o.d"
+  "bench_sec6e_active_routing"
+  "bench_sec6e_active_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6e_active_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_routing.dir/bench_table3_routing.cpp.o"
+  "CMakeFiles/bench_table3_routing.dir/bench_table3_routing.cpp.o.d"
+  "bench_table3_routing"
+  "bench_table3_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_act.dir/bench_table4_act.cpp.o"
+  "CMakeFiles/bench_table4_act.dir/bench_table4_act.cpp.o.d"
+  "bench_table4_act"
+  "bench_table4_act.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_act.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_routing.dir/active_routing.cpp.o"
+  "CMakeFiles/active_routing.dir/active_routing.cpp.o.d"
+  "active_routing"
+  "active_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfigure_topologies.dir/reconfigure_topologies.cpp.o"
+  "CMakeFiles/reconfigure_topologies.dir/reconfigure_topologies.cpp.o.d"
+  "reconfigure_topologies"
+  "reconfigure_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfigure_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdtctl.dir/sdtctl.cpp.o"
+  "CMakeFiles/sdtctl.dir/sdtctl.cpp.o.d"
+  "sdtctl"
+  "sdtctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdtctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

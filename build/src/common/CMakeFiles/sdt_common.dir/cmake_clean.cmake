@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdt_common.dir/json.cpp.o"
+  "CMakeFiles/sdt_common.dir/json.cpp.o.d"
+  "CMakeFiles/sdt_common.dir/log.cpp.o"
+  "CMakeFiles/sdt_common.dir/log.cpp.o.d"
+  "CMakeFiles/sdt_common.dir/strings.cpp.o"
+  "CMakeFiles/sdt_common.dir/strings.cpp.o.d"
+  "libsdt_common.a"
+  "libsdt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

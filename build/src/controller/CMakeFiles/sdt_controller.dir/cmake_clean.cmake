@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdt_controller.dir/config.cpp.o"
+  "CMakeFiles/sdt_controller.dir/config.cpp.o.d"
+  "CMakeFiles/sdt_controller.dir/controller.cpp.o"
+  "CMakeFiles/sdt_controller.dir/controller.cpp.o.d"
+  "CMakeFiles/sdt_controller.dir/monitor.cpp.o"
+  "CMakeFiles/sdt_controller.dir/monitor.cpp.o.d"
+  "libsdt_controller.a"
+  "libsdt_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdt_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

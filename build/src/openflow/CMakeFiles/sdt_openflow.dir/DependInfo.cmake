@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/openflow/flow_table.cpp" "src/openflow/CMakeFiles/sdt_openflow.dir/flow_table.cpp.o" "gcc" "src/openflow/CMakeFiles/sdt_openflow.dir/flow_table.cpp.o.d"
+  "/root/repo/src/openflow/of_switch.cpp" "src/openflow/CMakeFiles/sdt_openflow.dir/of_switch.cpp.o" "gcc" "src/openflow/CMakeFiles/sdt_openflow.dir/of_switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdt_openflow.dir/flow_table.cpp.o"
+  "CMakeFiles/sdt_openflow.dir/flow_table.cpp.o.d"
+  "CMakeFiles/sdt_openflow.dir/of_switch.cpp.o"
+  "CMakeFiles/sdt_openflow.dir/of_switch.cpp.o.d"
+  "libsdt_openflow.a"
+  "libsdt_openflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdt_openflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdt_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/sdt_partition.dir/partitioner.cpp.o.d"
+  "libsdt_partition.a"
+  "libsdt_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdt_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/projection/feasibility.cpp" "src/projection/CMakeFiles/sdt_projection.dir/feasibility.cpp.o" "gcc" "src/projection/CMakeFiles/sdt_projection.dir/feasibility.cpp.o.d"
+  "/root/repo/src/projection/link_projector.cpp" "src/projection/CMakeFiles/sdt_projection.dir/link_projector.cpp.o" "gcc" "src/projection/CMakeFiles/sdt_projection.dir/link_projector.cpp.o.d"
+  "/root/repo/src/projection/plant.cpp" "src/projection/CMakeFiles/sdt_projection.dir/plant.cpp.o" "gcc" "src/projection/CMakeFiles/sdt_projection.dir/plant.cpp.o.d"
+  "/root/repo/src/projection/projection.cpp" "src/projection/CMakeFiles/sdt_projection.dir/projection.cpp.o" "gcc" "src/projection/CMakeFiles/sdt_projection.dir/projection.cpp.o.d"
+  "/root/repo/src/projection/switch_projector.cpp" "src/projection/CMakeFiles/sdt_projection.dir/switch_projector.cpp.o" "gcc" "src/projection/CMakeFiles/sdt_projection.dir/switch_projector.cpp.o.d"
+  "/root/repo/src/projection/turbonet.cpp" "src/projection/CMakeFiles/sdt_projection.dir/turbonet.cpp.o" "gcc" "src/projection/CMakeFiles/sdt_projection.dir/turbonet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/sdt_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sdt_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/sdt_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

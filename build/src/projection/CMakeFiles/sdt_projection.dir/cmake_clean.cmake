@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdt_projection.dir/feasibility.cpp.o"
+  "CMakeFiles/sdt_projection.dir/feasibility.cpp.o.d"
+  "CMakeFiles/sdt_projection.dir/link_projector.cpp.o"
+  "CMakeFiles/sdt_projection.dir/link_projector.cpp.o.d"
+  "CMakeFiles/sdt_projection.dir/plant.cpp.o"
+  "CMakeFiles/sdt_projection.dir/plant.cpp.o.d"
+  "CMakeFiles/sdt_projection.dir/projection.cpp.o"
+  "CMakeFiles/sdt_projection.dir/projection.cpp.o.d"
+  "CMakeFiles/sdt_projection.dir/switch_projector.cpp.o"
+  "CMakeFiles/sdt_projection.dir/switch_projector.cpp.o.d"
+  "CMakeFiles/sdt_projection.dir/turbonet.cpp.o"
+  "CMakeFiles/sdt_projection.dir/turbonet.cpp.o.d"
+  "libsdt_projection.a"
+  "libsdt_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdt_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/adaptive.cpp" "src/routing/CMakeFiles/sdt_routing.dir/adaptive.cpp.o" "gcc" "src/routing/CMakeFiles/sdt_routing.dir/adaptive.cpp.o.d"
+  "/root/repo/src/routing/deadlock.cpp" "src/routing/CMakeFiles/sdt_routing.dir/deadlock.cpp.o" "gcc" "src/routing/CMakeFiles/sdt_routing.dir/deadlock.cpp.o.d"
+  "/root/repo/src/routing/dragonfly.cpp" "src/routing/CMakeFiles/sdt_routing.dir/dragonfly.cpp.o" "gcc" "src/routing/CMakeFiles/sdt_routing.dir/dragonfly.cpp.o.d"
+  "/root/repo/src/routing/fat_tree.cpp" "src/routing/CMakeFiles/sdt_routing.dir/fat_tree.cpp.o" "gcc" "src/routing/CMakeFiles/sdt_routing.dir/fat_tree.cpp.o.d"
+  "/root/repo/src/routing/mesh_torus.cpp" "src/routing/CMakeFiles/sdt_routing.dir/mesh_torus.cpp.o" "gcc" "src/routing/CMakeFiles/sdt_routing.dir/mesh_torus.cpp.o.d"
+  "/root/repo/src/routing/routing.cpp" "src/routing/CMakeFiles/sdt_routing.dir/routing.cpp.o" "gcc" "src/routing/CMakeFiles/sdt_routing.dir/routing.cpp.o.d"
+  "/root/repo/src/routing/shortest_path.cpp" "src/routing/CMakeFiles/sdt_routing.dir/shortest_path.cpp.o" "gcc" "src/routing/CMakeFiles/sdt_routing.dir/shortest_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/sdt_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

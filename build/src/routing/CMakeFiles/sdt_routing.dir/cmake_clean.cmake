@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdt_routing.dir/adaptive.cpp.o"
+  "CMakeFiles/sdt_routing.dir/adaptive.cpp.o.d"
+  "CMakeFiles/sdt_routing.dir/deadlock.cpp.o"
+  "CMakeFiles/sdt_routing.dir/deadlock.cpp.o.d"
+  "CMakeFiles/sdt_routing.dir/dragonfly.cpp.o"
+  "CMakeFiles/sdt_routing.dir/dragonfly.cpp.o.d"
+  "CMakeFiles/sdt_routing.dir/fat_tree.cpp.o"
+  "CMakeFiles/sdt_routing.dir/fat_tree.cpp.o.d"
+  "CMakeFiles/sdt_routing.dir/mesh_torus.cpp.o"
+  "CMakeFiles/sdt_routing.dir/mesh_torus.cpp.o.d"
+  "CMakeFiles/sdt_routing.dir/routing.cpp.o"
+  "CMakeFiles/sdt_routing.dir/routing.cpp.o.d"
+  "CMakeFiles/sdt_routing.dir/shortest_path.cpp.o"
+  "CMakeFiles/sdt_routing.dir/shortest_path.cpp.o.d"
+  "libsdt_routing.a"
+  "libsdt_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdt_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdt_sim.dir/builder.cpp.o"
+  "CMakeFiles/sdt_sim.dir/builder.cpp.o.d"
+  "CMakeFiles/sdt_sim.dir/network.cpp.o"
+  "CMakeFiles/sdt_sim.dir/network.cpp.o.d"
+  "CMakeFiles/sdt_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sdt_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/sdt_sim.dir/transport.cpp.o"
+  "CMakeFiles/sdt_sim.dir/transport.cpp.o.d"
+  "libsdt_sim.a"
+  "libsdt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

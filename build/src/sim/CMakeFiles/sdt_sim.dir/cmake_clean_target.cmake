@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdt_sim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdt_testbed.dir/evaluator.cpp.o"
+  "CMakeFiles/sdt_testbed.dir/evaluator.cpp.o.d"
+  "libsdt_testbed.a"
+  "libsdt_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdt_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdt_topo.dir/generators.cpp.o"
+  "CMakeFiles/sdt_topo.dir/generators.cpp.o.d"
+  "CMakeFiles/sdt_topo.dir/graph.cpp.o"
+  "CMakeFiles/sdt_topo.dir/graph.cpp.o.d"
+  "CMakeFiles/sdt_topo.dir/topology.cpp.o"
+  "CMakeFiles/sdt_topo.dir/topology.cpp.o.d"
+  "CMakeFiles/sdt_topo.dir/zoo.cpp.o"
+  "CMakeFiles/sdt_topo.dir/zoo.cpp.o.d"
+  "libsdt_topo.a"
+  "libsdt_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdt_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

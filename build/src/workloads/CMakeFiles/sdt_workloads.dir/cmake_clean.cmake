@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdt_workloads.dir/apps.cpp.o"
+  "CMakeFiles/sdt_workloads.dir/apps.cpp.o.d"
+  "CMakeFiles/sdt_workloads.dir/mpi.cpp.o"
+  "CMakeFiles/sdt_workloads.dir/mpi.cpp.o.d"
+  "CMakeFiles/sdt_workloads.dir/trace.cpp.o"
+  "CMakeFiles/sdt_workloads.dir/trace.cpp.o.d"
+  "libsdt_workloads.a"
+  "libsdt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_e2e_equivalence.dir/test_e2e_equivalence.cpp.o"
+  "CMakeFiles/test_e2e_equivalence.dir/test_e2e_equivalence.cpp.o.d"
+  "test_e2e_equivalence"
+  "test_e2e_equivalence.pdb"
+  "test_e2e_equivalence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_e2e_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

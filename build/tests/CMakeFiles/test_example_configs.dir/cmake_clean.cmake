@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_example_configs.dir/test_example_configs.cpp.o"
+  "CMakeFiles/test_example_configs.dir/test_example_configs.cpp.o.d"
+  "test_example_configs"
+  "test_example_configs.pdb"
+  "test_example_configs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_example_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_optical_flex.cpp" "tests/CMakeFiles/test_optical_flex.dir/test_optical_flex.cpp.o" "gcc" "tests/CMakeFiles/test_optical_flex.dir/test_optical_flex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/sdt_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/sdt_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sdt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/sdt_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/projection/CMakeFiles/sdt_projection.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sdt_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/sdt_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/sdt_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

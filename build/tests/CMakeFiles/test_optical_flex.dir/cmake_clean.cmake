@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optical_flex.dir/test_optical_flex.cpp.o"
+  "CMakeFiles/test_optical_flex.dir/test_optical_flex.cpp.o.d"
+  "test_optical_flex"
+  "test_optical_flex.pdb"
+  "test_optical_flex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optical_flex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tp_methods.dir/test_tp_methods.cpp.o"
+  "CMakeFiles/test_tp_methods.dir/test_tp_methods.cpp.o.d"
+  "test_tp_methods"
+  "test_tp_methods.pdb"
+  "test_tp_methods[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tp_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
