@@ -27,6 +27,7 @@ int main() {
   std::printf("%22s %16s %16s %14s\n", "crossbar (base,slope)", "ovh @256B",
               "ovh @64KiB", "in paper band");
   bench::printRule(72);
+  bench::JsonReport report("ablation_crossbar");
   for (const auto& [base, slope] : {std::pair{0.0, 0.0}, {1.0, 0.5}, {2.0, 1.0},
                                     {4.0, 2.0}, {8.0, 4.0}, {16.0, 8.0}}) {
     double overheads[2] = {0, 0};
@@ -46,9 +47,15 @@ int main() {
     const bool inBand = overheads[0] >= 0.0003 && overheads[0] <= 0.02;
     std::printf("        (%5.1f,%5.1f) %15.3f%% %15.4f%% %14s\n", base, slope,
                 overheads[0] * 100.0, overheads[1] * 100.0, inBand ? "YES" : "no");
+    report.row("models", {{"base", base},
+                          {"slope", slope},
+                          {"overhead_256B", overheads[0]},
+                          {"overhead_64KiB", overheads[1]},
+                          {"in_paper_band", inBand}});
   }
   bench::printRule(72);
   std::printf("default model (2.0, 1.0) keeps small-message overhead inside the\n"
               "paper's 0.03-2%% band while large messages amortize it (Fig. 11).\n");
+  report.write();
   return 0;
 }

@@ -4,18 +4,34 @@
 // 10 Gbps links, IMB Pingpong node1 <-> node8, RoCEv2 with ECN disabled,
 // message lengths swept (-msglen). Overhead = (l_s - l_r) / l_r.
 // Expected shape: overhead positive, <= ~2%, shrinking as messages grow.
+//
+// The message-length points are independent; testbed::SweepRunner fans them
+// out and the reported table is bit-identical to a serial sweep.
 #include <cstdio>
+#include <stdexcept>
 
 #include "bench_util.hpp"
 #include "routing/shortest_path.hpp"
+#include "testbed/sweep.hpp"
 #include "workloads/apps.hpp"
 
 using namespace sdt;
 
+namespace {
+
+struct Point {
+  std::int64_t bytes = 0;
+  double rttFullUs = 0.0;
+  double rttSdtUs = 0.0;
+  double overhead = 0.0;
+};
+
+}  // namespace
+
 int main() {
   std::printf("== Fig. 11: SDT extra overhead on 8-hop RTT (line-8, RoCE, ECN off) ==\n");
   const topo::Topology topo = topo::makeLine(8);
-  routing::ShortestPathRouting routing(topo);
+  const routing::ShortestPathRouting routing(topo);
 
   testbed::InstanceOptions opt;
   opt.network.ecnEnabled = false;  // paper: ECN-disabled for the latency test
@@ -33,39 +49,54 @@ int main() {
     return 1;
   }
 
-  std::printf("%10s %14s %14s %10s\n", "msglen", "RTT full (us)", "RTT SDT (us)",
-              "overhead");
-  bench::printRule(52);
-  bool shapeOk = true;
-  double previousOverhead = 1.0;
-  bool monotoneOverall = true;
-  for (const std::int64_t bytes :
-       {1LL, 64LL, 256LL, 1024LL, 4096LL, 16384LL, 65536LL, 262144LL, 1048576LL,
-        4194304LL}) {
+  const std::vector<std::int64_t> msgLens{1, 64, 256, 1024, 4096, 16384,
+                                          65536, 262144, 1048576, 4194304};
+  const testbed::SweepRunner sweep;
+  std::printf("# sweep: %zu points on %d threads\n", msgLens.size(), sweep.threads());
+  const std::vector<Point> points = sweep.run(msgLens.size(), [&](std::size_t i) {
+    const std::int64_t bytes = msgLens[i];
     const int iters = bytes >= 262144 ? 5 : 20;
     const workloads::Workload w = workloads::imbPingpong(8, bytes, iters);
 
     auto full = testbed::makeFullTestbed(topo, routing, opt);
     const testbed::RunResult fr = testbed::runWorkload(full, w, rankMap);
     auto sdt = testbed::makeSdt(topo, routing, plant.value(), opt);
-    if (!sdt) {
-      std::fprintf(stderr, "sdt: %s\n", sdt.error().message.c_str());
-      return 1;
-    }
+    if (!sdt) throw std::runtime_error(sdt.error().message);
     const testbed::RunResult sr = testbed::runWorkload(sdt.value(), w, rankMap);
 
-    const double rttFull = nsToUs(fr.act) / iters;
-    const double rttSdt = nsToUs(sr.act) / iters;
-    const double overhead = (rttSdt - rttFull) / rttFull;
-    std::printf("%10lld %14.3f %14.3f %9.3f%%\n", static_cast<long long>(bytes),
-                rttFull, rttSdt, overhead * 100.0);
-    if (overhead < 0.0 || overhead > 0.02) shapeOk = false;
-    if (bytes >= 1024 && overhead > previousOverhead + 1e-4) monotoneOverall = false;
-    previousOverhead = overhead;
+    Point p;
+    p.bytes = bytes;
+    p.rttFullUs = nsToUs(fr.act) / iters;
+    p.rttSdtUs = nsToUs(sr.act) / iters;
+    p.overhead = (p.rttSdtUs - p.rttFullUs) / p.rttFullUs;
+    return p;
+  });
+
+  bench::JsonReport report("fig11_latency_overhead");
+  std::printf("%10s %14s %14s %10s\n", "msglen", "RTT full (us)", "RTT SDT (us)",
+              "overhead");
+  bench::printRule(52);
+  bool shapeOk = true;
+  double previousOverhead = 1.0;
+  bool monotoneOverall = true;
+  for (const Point& p : points) {
+    std::printf("%10lld %14.3f %14.3f %9.3f%%\n", static_cast<long long>(p.bytes),
+                p.rttFullUs, p.rttSdtUs, p.overhead * 100.0);
+    report.row("points", {{"msglen", static_cast<std::int64_t>(p.bytes)},
+                          {"rtt_full_us", p.rttFullUs},
+                          {"rtt_sdt_us", p.rttSdtUs},
+                          {"overhead", p.overhead}});
+    if (p.overhead < 0.0 || p.overhead > 0.02) shapeOk = false;
+    if (p.bytes >= 1024 && p.overhead > previousOverhead + 1e-4) monotoneOverall = false;
+    previousOverhead = p.overhead;
   }
   bench::printRule(52);
   std::printf("shape: overhead in (0, 2%%] everywhere: %s; shrinking with size: %s\n",
               shapeOk ? "YES" : "NO", monotoneOverall ? "YES" : "NO");
   std::printf("paper: overheads below 1.6%%, decreasing with message length\n");
+  report.set("shape_ok", shapeOk);
+  report.set("monotone", monotoneOverall);
+  report.set("sweep_threads", sweep.threads());
+  report.write();
   return shapeOk ? 0 : 1;
 }

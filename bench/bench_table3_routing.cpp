@@ -27,6 +27,7 @@ int main() {
   std::printf("%-16s %-18s %4s %10s %14s  %s\n", "topology", "strategy", "VCs",
               "avg hops", "deadlock-free", "scheme");
   bench::printRule(96);
+  bench::JsonReport report("table3_routing");
   bool allOk = true;
   for (const Row& row : rows) {
     auto algo = routing::makeRouting(bench::strategyFor(row.topo), row.topo);
@@ -57,9 +58,16 @@ int main() {
     std::printf("%-16s %-18s %4d %10.2f %14s  %s\n", row.label,
                 algo.value()->name().c_str(), algo.value()->numVcs(),
                 hops / pairs, ok ? "YES" : "NO", row.avoidance);
+    report.row("rows", {{"topology", row.label},
+                        {"strategy", algo.value()->name()},
+                        {"vcs", algo.value()->numVcs()},
+                        {"avg_hops", hops / pairs},
+                        {"deadlock_free", ok}});
   }
   bench::printRule(96);
   std::printf("paper: DFS/Fat-Tree (no need), minimal/Dragonfly (changing VC),\n"
               "X-Y / X-Y-Z mesh (by routing), Clue/torus (routing + changing VC)\n");
+  report.set("all_ok", allOk);
+  report.write();
   return allOk ? 0 : 1;
 }

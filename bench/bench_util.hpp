@@ -8,8 +8,10 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "projection/plant.hpp"
 #include "routing/routing.hpp"
@@ -17,6 +19,51 @@
 #include "topo/generators.hpp"
 
 namespace sdt::bench {
+
+/// Machine-readable bench output: every bench binary records its headline
+/// numbers in BENCH_<name>.json (cwd) so the perf trajectory is comparable
+/// across PRs without scraping stdout. Typical use:
+///
+///   bench::JsonReport report("fig11_latency_overhead");
+///   report.set("max_overhead", maxOverhead);
+///   report.row("points", {{"msglen", 64}, {"overhead", 0.012}});
+///   report.write();
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {
+    root_["bench"] = name_;
+  }
+
+  /// Top-level scalar metric.
+  void set(const std::string& key, json::Value value) { root_[key] = std::move(value); }
+
+  /// Append one row to the named array of per-point objects.
+  void row(const std::string& arrayKey, json::Object fields) {
+    auto it = root_.find(arrayKey);
+    if (it == root_.end()) it = root_.emplace(arrayKey, json::Array{}).first;
+    it->second.asArray().emplace_back(std::move(fields));
+  }
+
+  /// Write BENCH_<name>.json; returns false (and warns) on I/O failure.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    const std::string text = json::Value(root_).dump(2);
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "WARN: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("# wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  json::Object root_;
+};
 
 /// Auto-size a plant for `topo`, growing the switch count until it fits.
 inline projection::Plant autoPlant(const topo::Topology& topo,

@@ -44,6 +44,7 @@ Status<Error> FlowTable::add(FlowEntry entry) {
     return e.priority < entry.priority;
   });
   entries_.insert(pos, std::move(entry));
+  indexDirty_ = true;
   return {};
 }
 
@@ -53,20 +54,65 @@ std::size_t FlowTable::removeByCookie(std::uint64_t cookie) {
   });
   const auto removed = static_cast<std::size_t>(entries_.end() - it);
   entries_.erase(it, entries_.end());
+  indexDirty_ = indexDirty_ || removed > 0;
   return removed;
 }
 
-const FlowEntry* FlowTable::lookup(const PacketHeader& header, std::int64_t bytes) const {
-  for (const FlowEntry& e : entries_) {
-    if (e.match.matches(header)) {
-      if (bytes >= 0) {
-        ++e.packetCount;
-        e.byteCount += static_cast<std::uint64_t>(bytes);
-      }
-      return &e;
+void FlowTable::clear() {
+  entries_.clear();
+  indexDirty_ = true;
+}
+
+void FlowTable::buildIndex() const {
+  index_.clear();
+  residual_.clear();
+  for (std::uint32_t pos = 0; pos < entries_.size(); ++pos) {
+    const Match& m = entries_[pos].match;
+    if (m.inPort && m.dstAddr) {
+      index_[indexKey(*m.inPort, *m.dstAddr)].push_back(pos);
+    } else {
+      residual_.push_back(pos);
     }
   }
-  return nullptr;
+  indexDirty_ = false;
+}
+
+std::uint32_t FlowTable::findPos(const PacketHeader& header) const {
+  if (indexDirty_) buildIndex();
+  std::uint32_t best = kNoPos;
+  const auto bucket = index_.find(indexKey(header.inPort, header.dstAddr));
+  if (bucket != index_.end()) {
+    // Positions are ascending, i.e. in match-preference order: the first
+    // full match in the bucket is the best indexed candidate.
+    for (const std::uint32_t pos : bucket->second) {
+      if (entries_[pos].match.matches(header)) {
+        best = pos;
+        break;
+      }
+    }
+  }
+  for (const std::uint32_t pos : residual_) {
+    if (pos >= best) break;  // ascending: cannot beat the indexed winner
+    if (entries_[pos].match.matches(header)) {
+      best = pos;
+      break;
+    }
+  }
+  return best;
+}
+
+const FlowEntry* FlowTable::lookup(const PacketHeader& header) const {
+  const std::uint32_t pos = findPos(header);
+  return pos == kNoPos ? nullptr : &entries_[pos];
+}
+
+const FlowEntry* FlowTable::lookupAndCount(const PacketHeader& header, std::int64_t bytes) {
+  const std::uint32_t pos = findPos(header);
+  if (pos == kNoPos) return nullptr;
+  FlowEntry& e = entries_[pos];
+  ++e.packetCount;
+  e.byteCount += static_cast<std::uint64_t>(bytes);
+  return &e;
 }
 
 }  // namespace sdt::openflow

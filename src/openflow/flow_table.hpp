@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.hpp"
@@ -74,12 +75,25 @@ struct FlowEntry {
   std::vector<Action> actions;
   std::uint64_t cookie = 0;  ///< controller-assigned id for bulk delete
 
-  // Per-entry counters (OpenFlow flow stats).
-  mutable std::uint64_t packetCount = 0;
-  mutable std::uint64_t byteCount = 0;
+  // Per-entry counters (OpenFlow flow stats), bumped only by the non-const
+  // lookupAndCount() path so const lookups stay pure (and therefore safe
+  // for concurrent readers).
+  std::uint64_t packetCount = 0;
+  std::uint64_t byteCount = 0;
 };
 
 /// Priority-ordered table with a hard capacity (mirrors TCAM limits).
+///
+/// Lookup is accelerated by an exact-match hash index keyed on
+/// (inPort, dstAddr) — the shape of every LinkProjector-generated entry — so
+/// SDT-mode forwarding is O(1) in the table size. Entries that wildcard
+/// either keyed field fall back to the priority-ordered linear scan; the two
+/// paths are merged by table position so results are identical to a pure
+/// scan (test_flow_table runs a randomized differential check).
+///
+/// The index is rebuilt lazily after mutations. Mutations and lookups must
+/// not race; call buildIndex() after the last mutation before sharing the
+/// table across concurrent readers.
 class FlowTable {
  public:
   explicit FlowTable(std::size_t capacity = 4096) : capacity_(capacity) {}
@@ -95,19 +109,39 @@ class FlowTable {
   /// Remove all entries with the given cookie; returns how many.
   std::size_t removeByCookie(std::uint64_t cookie);
 
-  void clear() { entries_.clear(); }
+  void clear();
 
   /// Highest-priority matching entry; ties broken by insertion order
   /// (first inserted wins, like OpenFlow's unspecified-but-stable practice).
-  /// Updates the entry's counters when `bytes` >= 0.
-  [[nodiscard]] const FlowEntry* lookup(const PacketHeader& header,
-                                        std::int64_t bytes = -1) const;
+  /// Pure: never touches flow counters.
+  [[nodiscard]] const FlowEntry* lookup(const PacketHeader& header) const;
+
+  /// lookup() plus OpenFlow flow-stats accounting on the matched entry.
+  const FlowEntry* lookupAndCount(const PacketHeader& header, std::int64_t bytes);
+
+  /// Force an eager index rebuild (otherwise done lazily on next lookup).
+  void buildIndex() const;
 
   [[nodiscard]] const std::vector<FlowEntry>& entries() const { return entries_; }
 
  private:
+  static constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
+
+  [[nodiscard]] static std::uint64_t indexKey(int inPort, std::uint32_t dstAddr) {
+    return static_cast<std::uint64_t>(static_cast<std::uint32_t>(inPort)) << 32 | dstAddr;
+  }
+  /// Table position of the winning entry, kNoPos on miss.
+  [[nodiscard]] std::uint32_t findPos(const PacketHeader& header) const;
+
   std::size_t capacity_;
   std::vector<FlowEntry> entries_;  // kept sorted by descending priority
+
+  // Lazily maintained lookup index: positions (ascending == match-preference
+  // order) of entries with concrete (inPort, dstAddr), bucketed by that key;
+  // everything else lands in residual_ and is scanned.
+  mutable std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index_;
+  mutable std::vector<std::uint32_t> residual_;
+  mutable bool indexDirty_ = true;
 };
 
 }  // namespace sdt::openflow

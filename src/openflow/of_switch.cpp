@@ -11,7 +11,7 @@ ForwardDecision Switch::process(const PacketHeader& header, std::int64_t bytes) 
   in.rxBytes += static_cast<std::uint64_t>(bytes);
 
   ForwardDecision decision;
-  const FlowEntry* entry = table_.lookup(header, bytes);
+  const FlowEntry* entry = table_.lookupAndCount(header, bytes);
   if (entry == nullptr) return decision;  // table miss -> drop
 
   decision.matched = true;

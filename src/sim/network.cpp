@@ -5,6 +5,32 @@
 
 namespace sdt::sim {
 
+std::uint32_t Network::PacketPool::acquire(Packet&& packet) {
+  if (freeHead_ == kNil) {
+    const auto base = static_cast<std::uint32_t>(chunks_.size() * kChunkNodes);
+    chunks_.push_back(std::make_unique<Node[]>(kChunkNodes));
+    Node* chunk = chunks_.back().get();
+    for (std::uint32_t i = 0; i < kChunkNodes; ++i) {
+      chunk[i].next = i + 1 < kChunkNodes ? base + i + 1 : kNil;
+    }
+    freeHead_ = base;
+  }
+  const std::uint32_t idx = freeHead_;
+  Node& node = nodeAt(idx);
+  freeHead_ = node.next;
+  node.packet = std::move(packet);
+  node.next = kNil;
+  return idx;
+}
+
+Packet Network::PacketPool::release(std::uint32_t idx) {
+  Node& node = nodeAt(idx);
+  Packet packet = std::move(node.packet);
+  node.next = freeHead_;
+  freeHead_ = idx;
+  return packet;
+}
+
 int Network::addSwitch(int numPorts, Forwarder forwarder, TimeNs extraLatency) {
   SwitchDev dev;
   dev.ports.resize(static_cast<std::size_t>(numPorts));
@@ -145,7 +171,13 @@ void Network::enqueueEgress(NodeRef node, int port, Packet packet) {
   // Peak occupancy is a *switch buffer* invariant (hosts may stage
   // arbitrarily large software send queues).
   if (isSwitch) peakQueueBytes_ = std::max(peakQueueBytes_, p.egress.totalBytes);
-  p.egress.perClass[cls].push_back(std::move(packet));
+  const std::uint32_t pooled = pool_.acquire(std::move(packet));
+  if (p.egress.tail[cls] == kNil) {
+    p.egress.head[cls] = pooled;
+  } else {
+    pool_.linkAfter(p.egress.tail[cls], pooled);
+  }
+  p.egress.tail[cls] = pooled;
   kickService(node, port);
 }
 
@@ -174,8 +206,10 @@ void Network::serviceEgress(NodeRef node, int port) {
   }
   if (cls < 0) return;  // empty or fully paused; enqueue/unpause re-kicks
 
-  Packet packet = std::move(p.egress.perClass[cls].front());
-  p.egress.perClass[cls].pop_front();
+  const std::uint32_t pooled = p.egress.head[cls];
+  p.egress.head[cls] = pool_.nextOf(pooled);
+  if (p.egress.head[cls] == kNil) p.egress.tail[cls] = kNil;
+  Packet packet = pool_.release(pooled);
   p.egress.bytes[cls] -= packet.wireBytes();
   p.egress.totalBytes -= packet.wireBytes();
 

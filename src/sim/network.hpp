@@ -19,8 +19,8 @@
 #pragma once
 
 #include <array>
-#include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/result.hpp"
@@ -126,8 +126,43 @@ class Network {
   [[nodiscard]] std::int64_t peakQueueBytes() const { return peakQueueBytes_; }
 
  private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  /// Free-list pool of packet nodes backing every egress queue. Chunked so
+  /// node indices stay stable as the pool grows; steady-state enqueue/dequeue
+  /// performs zero heap allocations (the deque-per-class layout it replaces
+  /// allocated and freed block storage on every burst).
+  class PacketPool {
+   public:
+    std::uint32_t acquire(Packet&& packet);
+    /// Frees the node and hands the packet back by value.
+    Packet release(std::uint32_t idx);
+    [[nodiscard]] std::uint32_t nextOf(std::uint32_t idx) const {
+      return nodeAt(idx).next;
+    }
+    void linkAfter(std::uint32_t idx, std::uint32_t next) { nodeAt(idx).next = next; }
+    [[nodiscard]] std::size_t capacity() const { return chunks_.size() * kChunkNodes; }
+
+   private:
+    static constexpr std::size_t kChunkNodes = 256;
+    struct Node {
+      Packet packet;
+      std::uint32_t next = kNil;  ///< FIFO successor, or free-list link
+    };
+    [[nodiscard]] Node& nodeAt(std::uint32_t idx) const {
+      return chunks_[idx / kChunkNodes][idx % kChunkNodes];
+    }
+    std::vector<std::unique_ptr<Node[]>> chunks_;
+    std::uint32_t freeHead_ = kNil;
+  };
+
   struct EgressQueue {
-    std::array<std::deque<Packet>, kNumClasses> perClass;
+    EgressQueue() {
+      head.fill(kNil);
+      tail.fill(kNil);
+    }
+    std::array<std::uint32_t, kNumClasses> head;  ///< pooled FIFO per class
+    std::array<std::uint32_t, kNumClasses> tail;
     std::array<std::int64_t, kNumClasses> bytes{};
     std::array<bool, kNumClasses> paused{};
     std::int64_t totalBytes = 0;
@@ -171,6 +206,7 @@ class Network {
 
   Simulator* sim_;
   NetworkConfig config_;
+  PacketPool pool_;
   std::vector<SwitchDev> switches_;
   std::vector<HostDev> hosts_;
   std::uint64_t totalDrops_ = 0;

@@ -1,24 +1,94 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
-
 namespace sdt::sim {
 
-void Simulator::scheduleAt(Time when, std::function<void()> fn) {
-  assert(when >= now_ && "cannot schedule into the past");
-  queue_.push(Event{when, nextSeq_++, std::move(fn)});
+Simulator::~Simulator() {
+  // Destroy pending closures without running them.
+  for (const HeapItem& item : heap_) {
+    Slot& s = slotAt(item.slot());
+    s.dispatch(s, SlotOp::kDestroyOnly);
+  }
+}
+
+std::uint32_t Simulator::acquireSlot() {
+  if (freeHead_ == kNoSlot) {
+    const auto base = static_cast<std::uint32_t>(chunks_.size() * kChunkSlots);
+    assert(base + kChunkSlots <= kSlotMask + 1 && "event arena exhausted");
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+    Slot* chunk = chunks_.back().get();
+    for (std::uint32_t i = 0; i < kChunkSlots; ++i) {
+      chunk[i].nextFree = i + 1 < kChunkSlots ? base + i + 1 : kNoSlot;
+    }
+    freeHead_ = base;
+  }
+  const std::uint32_t idx = freeHead_;
+  freeHead_ = slotAt(idx).nextFree;
+  return idx;
+}
+
+void Simulator::releaseSlot(std::uint32_t idx) {
+  Slot& s = slotAt(idx);
+  s.nextFree = freeHead_;
+  freeHead_ = idx;
+}
+
+void Simulator::push(Time when, std::uint32_t slot) {
+  assert(nextSeq_ < (1ULL << (64 - kSlotBits)) && "event sequence exhausted");
+  const HeapItem item{when, nextSeq_++ << kSlotBits | slot};
+  heap_.push_back(item);
+  // Sift up, moving holes instead of swapping (one store per level).
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], item)) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = item;
+}
+
+Simulator::HeapItem Simulator::popTop() {
+  const HeapItem top = heap_.front();
+  const HeapItem last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return top;
+  // Bottom-up deletion: walk the hole down the min-child path all the way to
+  // a leaf (one comparison per level), then bubble the displaced last
+  // element back up (O(1) expected, since it usually belongs near a leaf).
+  // Roughly halves the comparisons of a textbook sift-down.
+  std::size_t hole = 0;
+  std::size_t child = 1;
+  while (child < n) {
+    // Min-child select as arithmetic, not a branch: which child wins is a
+    // coin flip the predictor can't learn.
+    if (child + 1 < n) {
+      child += static_cast<std::size_t>(later(heap_[child], heap_[child + 1]));
+    }
+    heap_[hole] = heap_[child];
+    hole = child;
+    child = 2 * hole + 1;
+  }
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / 2;
+    if (!later(heap_[parent], last)) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = last;
+  return top;
 }
 
 bool Simulator::runOne() {
-  if (queue_.empty() || stopped_) return false;
-  // Moving out of a priority_queue requires a const_cast dance; copy the
-  // small members and move the callable.
-  const Event& top = queue_.top();
+  if (heap_.empty() || stopped_) return false;
+  const HeapItem top = popTop();
   now_ = top.when;
-  auto fn = std::move(const_cast<Event&>(top).fn);
-  queue_.pop();
   ++processed_;
-  fn();
+  // The slot stays acquired while the closure executes, so nested schedule()
+  // calls can never recycle the buffer under the running closure.
+  Slot& s = slotAt(top.slot());
+  s.dispatch(s, SlotOp::kRunAndDestroy);
+  releaseSlot(top.slot());
   return true;
 }
 
@@ -31,7 +101,7 @@ Time Simulator::run() {
 
 Time Simulator::runUntil(Time deadline) {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_ && queue_.top().when <= deadline) {
+  while (!heap_.empty() && !stopped_ && heap_.front().when <= deadline) {
     runOne();
   }
   if (now_ < deadline) now_ = deadline;

@@ -1,0 +1,91 @@
+// Parallel experiment-sweep runner.
+//
+// The engine itself is single-threaded by design (determinism per
+// experiment), but a reproduction sweep — 261 zoo WANs, a message-size
+// ladder, a node-count ladder — is embarrassingly parallel: every point
+// builds its own value-owned sim::Simulator/Network/transport stack and
+// shares nothing mutable with its neighbors. SweepRunner fans those points
+// out over a thread pool while keeping results bit-identical to a serial
+// run: points are claimed from an atomic cursor, each derives all of its
+// randomness from pointSeed(base, index), and results land in an
+// index-ordered vector, so neither thread count nor scheduling order can
+// change what the sweep reports (tests/test_determinism.cpp holds us to
+// that).
+//
+// Workers must not touch process-global state (in this codebase that is
+// only the log level, which sweeps leave alone).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace sdt::testbed {
+
+class SweepRunner {
+ public:
+  /// threads <= 0 selects std::thread::hardware_concurrency (min 1).
+  explicit SweepRunner(int threads = 0)
+      : threads_(threads > 0 ? threads
+                             : std::max(1, static_cast<int>(
+                                               std::thread::hardware_concurrency()))) {}
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// Deterministic per-point seed: splitmix64 mix of base seed and index,
+  /// so point i's randomness is independent of every other point's and of
+  /// how points are scheduled onto threads.
+  [[nodiscard]] static std::uint64_t pointSeed(std::uint64_t base, std::size_t index);
+
+  /// Run fn(0..points-1), concurrently when the pool has >1 thread, and
+  /// return the results ordered by point index. T must be movable and
+  /// default-constructible. The first exception thrown by any point is
+  /// rethrown here after all workers have drained.
+  template <typename Fn,
+            typename T = std::invoke_result_t<Fn&, std::size_t>>
+  std::vector<T> run(std::size_t points, Fn&& fn) const {
+    std::vector<T> results(points);
+    if (points == 0) return results;
+    const int workers = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(threads_), points));
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < points; ++i) results[i] = fn(i);
+      return results;
+    }
+
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
+    auto worker = [&]() {
+      while (!failed.load(std::memory_order_relaxed)) {
+        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= points) return;
+        try {
+          results[i] = fn(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(errorMutex);
+          if (!firstError) firstError = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+    if (firstError) std::rethrow_exception(firstError);
+    return results;
+  }
+
+ private:
+  int threads_;
+};
+
+}  // namespace sdt::testbed

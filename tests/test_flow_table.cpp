@@ -101,13 +101,13 @@ TEST(FlowTable, MissReturnsNull) {
   EXPECT_EQ(t.lookup(header(0, 2)), nullptr);
 }
 
-TEST(FlowTable, CountersUpdateOnLookup) {
+TEST(FlowTable, CountersUpdateOnlyOnLookupAndCount) {
   FlowTable t(8);
   FlowEntry e;
   ASSERT_TRUE(t.add(e).ok());
-  t.lookup(header(0, 0), 100);
-  t.lookup(header(0, 0), 50);
-  t.lookup(header(0, 0), -1);  // peek: no counting
+  t.lookupAndCount(header(0, 0), 100);
+  t.lookupAndCount(header(0, 0), 50);
+  t.lookup(header(0, 0));  // const peek: no counting
   EXPECT_EQ(t.entries()[0].packetCount, 2u);
   EXPECT_EQ(t.entries()[0].byteCount, 150u);
 }
