@@ -1,0 +1,69 @@
+// Bounded retry with exponential backoff and deterministic jitter.
+//
+// Models the controller's control-channel resilience: a flow-mod install can
+// fail in flight (switch busy, TCP hiccup on the management network), and the
+// controller retries with capped exponential backoff before declaring the
+// switch unreachable. All time here is *modeled* simulated time — the policy
+// returns how long the exchange took so callers (SdtController::repair) can
+// fold it into reconfiguration-time accounting; nothing sleeps.
+//
+// Jitter is deterministic: drawn from an Rng seeded by (policy seed, stream
+// id), so two runs of the same repair produce bit-identical backoff totals
+// regardless of thread interleaving in SweepRunner sweeps.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace sdt::retry {
+
+struct RetryPolicy {
+  int maxAttempts = 4;                    ///< total tries, including the first
+  TimeNs attemptTimeout = usToNs(100.0);  ///< modeled cost of one failed attempt
+  TimeNs baseBackoff = usToNs(50.0);      ///< wait before the 2nd attempt
+  double backoffMultiplier = 2.0;         ///< growth per further attempt
+  TimeNs maxBackoff = msToNs(5.0);        ///< cap on any single wait
+  /// Jitter spread: each wait is backoff * uniform[1 - jitter, 1]. Zero
+  /// disables jitter entirely (no RNG draw).
+  double jitter = 0.5;
+  std::uint64_t seed = 0xBACC0FFULL;
+};
+
+struct RetryResult {
+  bool succeeded = false;
+  int attempts = 0;     ///< attempts actually made (>= 1 unless maxAttempts < 1)
+  TimeNs elapsed = 0;   ///< modeled time: failed-attempt timeouts + backoffs
+};
+
+/// Run `attempt(i)` (i = 1-based attempt number, returns true on success) up
+/// to policy.maxAttempts times. `streamId` decorrelates jitter across
+/// concurrent logical streams (e.g. one per switch being repaired).
+template <typename AttemptFn>
+RetryResult retryWithBackoff(const RetryPolicy& policy, std::uint64_t streamId,
+                             AttemptFn&& attempt) {
+  RetryResult result;
+  std::uint64_t mix = policy.seed ^ streamId;
+  Rng rng(detail::splitmix64(mix));
+  double backoff = static_cast<double>(policy.baseBackoff);
+  for (int i = 1; i <= policy.maxAttempts; ++i) {
+    ++result.attempts;
+    if (attempt(i)) {
+      result.succeeded = true;
+      return result;
+    }
+    result.elapsed += policy.attemptTimeout;  // waited the full ack window
+    if (i == policy.maxAttempts) break;
+    double wait = backoff;
+    if (policy.jitter > 0.0) {
+      wait *= 1.0 - policy.jitter * rng.uniform();
+    }
+    const auto capped = static_cast<TimeNs>(wait);
+    result.elapsed += capped < policy.maxBackoff ? capped : policy.maxBackoff;
+    backoff *= policy.backoffMultiplier;
+  }
+  return result;
+}
+
+}  // namespace sdt::retry

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <set>
 
 #include "common/strings.hpp"
 #include "partition/partitioner.hpp"
+#include "routing/degraded.hpp"
 
 namespace sdt::controller {
 
@@ -13,10 +16,14 @@ namespace {
 /// Compile the routing strategy for one deployment into flow entries.
 /// Returns the per-physical-switch entry lists, or an error when the
 /// strategy fails on some (switch, destination, vc) state.
+///
+/// `severedMask` (repair path) marks logical links lost to failures: they
+/// are excluded from the reachability computation, so pairs they disconnect
+/// get no entries (table miss) instead of failing the compile.
 Result<std::vector<std::vector<openflow::FlowEntry>>> compileFlowTables(
     const topo::Topology& topo, const projection::Projection& projection,
     const projection::Plant& plant, const routing::RoutingAlgorithm& routing,
-    const DeployOptions& options) {
+    const DeployOptions& options, const std::vector<char>* severedMask = nullptr) {
   std::vector<std::vector<openflow::FlowEntry>> tables(
       static_cast<std::size_t>(plant.numSwitches()));
   const int vcs = routing.numVcs();
@@ -24,8 +31,10 @@ Result<std::vector<std::vector<openflow::FlowEntry>>> compileFlowTables(
   // Connected-component labels: a deployment may hold several mutually
   // isolated topologies at once (§VI-B); no rule is emitted across islands,
   // so cross-island packets die on table miss — isolation by construction.
+  // A degraded topology may also have split: components follow the
+  // *surviving* links.
   std::vector<int> component(static_cast<std::size_t>(topo.numSwitches()), -1);
-  {
+  if (severedMask == nullptr) {
     const topo::Graph g = topo.switchGraph();
     int label = 0;
     for (int start = 0; start < g.numVertices(); ++start) {
@@ -33,6 +42,26 @@ Result<std::vector<std::vector<openflow::FlowEntry>>> compileFlowTables(
       const auto dist = g.bfsDistances(start);
       for (int v = 0; v < g.numVertices(); ++v) {
         if (dist[v] >= 0) component[v] = label;
+      }
+      ++label;
+    }
+  } else {
+    int label = 0;
+    for (int start = 0; start < topo.numSwitches(); ++start) {
+      if (component[start] != -1) continue;
+      std::vector<int> frontier{start};
+      component[start] = label;
+      while (!frontier.empty()) {
+        const int sw = frontier.back();
+        frontier.pop_back();
+        for (const int li : topo.linksOf(sw)) {
+          if ((*severedMask)[li]) continue;
+          const int peer = topo.link(li).peerOf(sw).sw;
+          if (component[peer] == -1) {
+            component[peer] = label;
+            frontier.push_back(peer);
+          }
+        }
       }
       ++label;
     }
@@ -104,18 +133,102 @@ Result<std::vector<std::vector<openflow::FlowEntry>>> compileFlowTables(
   return tables;
 }
 
+/// Serialized rule identity for the repair diff's multiset keys (counters
+/// excluded, like openflow::sameRule).
+std::string ruleKey(const openflow::FlowEntry& e) {
+  std::string key = strFormat("p%d c%llu m", e.priority,
+                              static_cast<unsigned long long>(e.cookie));
+  key += e.match.describe();
+  for (const openflow::Action& a : e.actions) {
+    key += strFormat(" a%d:%d", static_cast<int>(a.type), a.arg);
+  }
+  return key;
+}
+
 }  // namespace
 
 CheckReport SdtController::check(const std::vector<const topo::Topology*>& topologies,
                                  const DeployOptions& options) const {
   CheckReport report;
   report.ok = true;
+
+  // Plant supply: the scarcest switch (or pair) bounds any projection.
+  int minSelfSupply = plant_.numSwitches() > 0 ? plant_.switches[0].numPorts : 0;
+  int minHostSupply = minSelfSupply;
+  for (int sw = 0; sw < plant_.numSwitches(); ++sw) {
+    minSelfSupply = std::min(minSelfSupply, static_cast<int>(plant_.selfLinksOf(sw).size()));
+    minHostSupply = std::min(minHostSupply, static_cast<int>(plant_.hostPortsOf(sw).size()));
+  }
+
   for (const topo::Topology* t : topologies) {
     auto proj = projection::LinkProjector::project(*t, plant_, options.projector);
     if (!proj) {
       report.ok = false;
-      report.problems.push_back(
-          strFormat("'%s': %s", t->name().c_str(), proj.error().message.c_str()));
+      // Quantify the shortfall (§V-1: "inform the user of the necessary
+      // link modification"): partition the topology the way planPlant does
+      // and compare demand against the plant's reserves, naming the
+      // offending topology. Falls back to the projector's error when the
+      // demand analysis finds no concrete gap (e.g. partitioning failed).
+      bool quantified = false;
+      const int parts = std::min(plant_.numSwitches(), std::max(1, t->numSwitches()));
+      std::vector<int> assignment(static_cast<std::size_t>(t->numSwitches()), 0);
+      bool partitioned = true;
+      if (parts > 1) {
+        partition::PartitionOptions popt;
+        popt.parts = parts;
+        auto part = partition::partitionGraph(t->switchGraph(), popt);
+        if (part) {
+          assignment = std::move(part.value().assignment);
+        } else {
+          partitioned = false;
+        }
+      }
+      if (partitioned) {
+        std::vector<int> selfPer(static_cast<std::size_t>(parts), 0);
+        std::map<std::pair<int, int>, int> interPer;
+        for (const topo::Link& link : t->links()) {
+          const int pa = assignment[link.a.sw];
+          const int pb = assignment[link.b.sw];
+          if (pa == pb) {
+            ++selfPer[pa];
+          } else {
+            ++interPer[std::minmax(pa, pb)];
+          }
+        }
+        std::vector<int> hostsPer(static_cast<std::size_t>(parts), 0);
+        for (topo::HostId h = 0; h < t->numHosts(); ++h) {
+          ++hostsPer[assignment[t->hostSwitch(h)]];
+        }
+        const int needSelf = *std::max_element(selfPer.begin(), selfPer.end());
+        const int needHosts = *std::max_element(hostsPer.begin(), hostsPer.end());
+        if (needSelf > minSelfSupply) {
+          report.problems.push_back(
+              strFormat("topo '%s': needs %d self-links/switch, plant has %d",
+                        t->name().c_str(), needSelf, minSelfSupply));
+          quantified = true;
+        }
+        for (const auto& [pair, count] : interPer) {
+          const int supply =
+              static_cast<int>(plant_.interLinksBetween(pair.first, pair.second).size());
+          if (count > supply) {
+            report.problems.push_back(strFormat(
+                "topo '%s': needs %d inter-switch links between switches %d-%d, "
+                "plant has %d",
+                t->name().c_str(), count, pair.first, pair.second, supply));
+            quantified = true;
+          }
+        }
+        if (needHosts > minHostSupply) {
+          report.problems.push_back(
+              strFormat("topo '%s': needs %d host ports/switch, plant has %d",
+                        t->name().c_str(), needHosts, minHostSupply));
+          quantified = true;
+        }
+      }
+      if (!quantified) {
+        report.problems.push_back(
+            strFormat("topo '%s': %s", t->name().c_str(), proj.error().message.c_str()));
+      }
       continue;
     }
     const projection::Projection& p = proj.value();
@@ -148,6 +261,49 @@ CheckReport SdtController::check(const std::vector<const topo::Topology*>& topol
     }
     for (const int c : hostsPerSwitch) {
       report.maxHostPortsPerSwitch = std::max(report.maxHostPortsPerSwitch, c);
+    }
+    // Flow-table demand (§VII-C). Matches compileFlowTables exactly at one
+    // VC — (ingress ports - 1) entries per reachable destination — and is a
+    // lower bound for multi-VC strategies.
+    std::vector<int> component(static_cast<std::size_t>(t->numSwitches()), -1);
+    {
+      const topo::Graph g = t->switchGraph();
+      int label = 0;
+      for (int start = 0; start < g.numVertices(); ++start) {
+        if (component[start] != -1) continue;
+        const auto dist = g.bfsDistances(start);
+        for (int v = 0; v < g.numVertices(); ++v) {
+          if (dist[v] >= 0) component[v] = label;
+        }
+        ++label;
+      }
+    }
+    std::map<int, int> hostsInComponent;
+    for (topo::HostId h = 0; h < t->numHosts(); ++h) {
+      ++hostsInComponent[component[t->hostSwitch(h)]];
+    }
+    std::vector<int> entriesPerPhys(static_cast<std::size_t>(plant_.numSwitches()), 0);
+    for (topo::SwitchId sw = 0; sw < t->numSwitches(); ++sw) {
+      int ingress = static_cast<int>(t->hostsOf(sw).size());
+      for (topo::PortId lp = 0; lp < t->radix(sw); ++lp) {
+        if (p.physOf(topo::SwitchPort{sw, lp}).valid()) ++ingress;
+      }
+      const int dsts = hostsInComponent[component[sw]];
+      if (ingress > 1 && dsts > 0) {
+        entriesPerPhys[p.physSwitchOf(sw)] += (ingress - 1) * dsts;
+      }
+    }
+    for (int psw = 0; psw < plant_.numSwitches(); ++psw) {
+      report.maxFlowEntriesPerSwitch =
+          std::max(report.maxFlowEntriesPerSwitch, entriesPerPhys[psw]);
+      const auto capacity = plant_.switches[psw].flowTableCapacity;
+      if (static_cast<std::size_t>(entriesPerPhys[psw]) > capacity) {
+        report.ok = false;
+        report.problems.push_back(strFormat(
+            "topo '%s': needs >=%d flow entries on physical switch %d, '%s' holds %zu",
+            t->name().c_str(), entriesPerPhys[psw], psw,
+            plant_.switches[psw].model.c_str(), capacity));
+      }
     }
   }
   return report;
@@ -212,6 +368,195 @@ Result<Deployment> SdtController::reconfigure(const Deployment& previous,
       projection::TpMethod::kSDT,
       previous.totalFlowEntries + deployment.value().totalFlowEntries);
   return deployment;
+}
+
+Result<RepairReport> SdtController::repair(Deployment& deployment,
+                                           const topo::Topology& topo,
+                                           const routing::RoutingAlgorithm& routing,
+                                           const FailureSet& failures,
+                                           const RepairOptions& options) const {
+  RepairReport report;
+  projection::Projection& proj = deployment.projection;
+  const int oldTotal = deployment.totalFlowEntries;
+  const std::set<projection::PhysPort> failed(failures.ports.begin(), failures.ports.end());
+  const auto healthy = [&](const projection::PhysLink& l) {
+    return failed.count(l.a) == 0 && failed.count(l.b) == 0;
+  };
+
+  // Fixed physical links already carrying a logical link are not spares.
+  std::vector<char> selfUsed(plant_.selfLinks.size(), 0);
+  std::vector<char> interUsed(plant_.interLinks.size(), 0);
+  for (const projection::RealizedLink& rl : proj.realizedLinks()) {
+    if (rl.optical) continue;
+    (rl.interSwitch ? interUsed : selfUsed)[static_cast<std::size_t>(rl.physLink)] = 1;
+  }
+
+  // Phase 1 — re-projection. For every logical link riding a failed port,
+  // find a spare healthy physical link of the same kind joining the same
+  // physical switch (pair) and move the logical endpoints onto it. The spare
+  // cable is already installed and already wired into the data plane; only
+  // flow entries change (the SDT claim, applied to failure recovery).
+  std::vector<int> severedIds;
+  const auto& realized = proj.realizedLinks();
+  for (int i = 0; i < static_cast<int>(realized.size()); ++i) {
+    const projection::RealizedLink rl = realized[i];
+    const projection::PhysLink phys =
+        rl.optical ? proj.opticalCircuits()[rl.physLink]
+                   : (rl.interSwitch ? plant_.interLinks[rl.physLink]
+                                     : plant_.selfLinks[rl.physLink]);
+    if (healthy(phys)) continue;
+    const topo::Link& logical = topo.link(rl.logicalLink);
+    int spare = -1;
+    // Optical circuits are torn down with their failure (re-pairing flex
+    // ports mid-run would need an OCS reconfiguration pass; out of scope),
+    // so they only heal by severing + rerouting.
+    if (!rl.optical) {
+      const auto candidates = rl.interSwitch
+                                  ? plant_.interLinksBetween(phys.a.sw, phys.b.sw)
+                                  : plant_.selfLinksOf(phys.a.sw);
+      auto& used = rl.interSwitch ? interUsed : selfUsed;
+      for (const int c : candidates) {
+        const projection::PhysLink& cand =
+            rl.interSwitch ? plant_.interLinks[c] : plant_.selfLinks[c];
+        if (!used[static_cast<std::size_t>(c)] && healthy(cand)) {
+          spare = c;
+          break;
+        }
+      }
+    }
+    if (spare < 0) {
+      severedIds.push_back(rl.logicalLink);
+      report.severedLinks.push_back(SeveredLink{rl.logicalLink, logical.a, logical.b});
+      continue;
+    }
+    const projection::PhysLink& sp =
+        rl.interSwitch ? plant_.interLinks[spare] : plant_.selfLinks[spare];
+    projection::PhysPort na = sp.a;
+    projection::PhysPort nb = sp.b;
+    // Inter-switch: keep each logical endpoint on its own physical switch.
+    if (rl.interSwitch && proj.physSwitchOf(logical.a.sw) != sp.a.sw) std::swap(na, nb);
+    proj.mapPort(logical.a, na);
+    proj.mapPort(logical.b, nb);
+    proj.rerealizeLink(i, spare);
+    (rl.interSwitch ? interUsed : selfUsed)[static_cast<std::size_t>(spare)] = 1;
+    ++report.remappedLinks;
+  }
+  report.degraded = !severedIds.empty();
+
+  // Phase 2 — routing on what survives. With every link re-projected the
+  // original routing still holds (the logical topology is intact); severed
+  // links force a detour-routing recompute and may split the fabric.
+  std::unique_ptr<routing::DegradedRouting> degradedRouting;
+  const routing::RoutingAlgorithm* effective = &routing;
+  std::vector<char> severedMask;
+  if (report.degraded) {
+    degradedRouting = std::make_unique<routing::DegradedRouting>(topo, severedIds,
+                                                                 routing.numVcs());
+    effective = degradedRouting.get();
+    severedMask.assign(topo.links().size(), 0);
+    for (const int li : severedIds) severedMask[static_cast<std::size_t>(li)] = 1;
+    for (topo::HostId src = 0; src < topo.numHosts(); ++src) {
+      for (topo::HostId dst = src + 1; dst < topo.numHosts(); ++dst) {
+        if (topo.hostSwitch(src) == topo.hostSwitch(dst)) continue;
+        if (!degradedRouting->reachable(topo.hostSwitch(src), dst)) {
+          report.unreachablePairs.emplace_back(src, dst);
+        }
+      }
+    }
+  }
+
+  auto tables = compileFlowTables(topo, proj, plant_, *effective, options.deploy,
+                                  report.degraded ? &severedMask : nullptr);
+  if (!tables) return tables.error();
+
+  // Phase 3 — incremental install: per switch, a multiset diff of the live
+  // table against the recompiled one, applied as strict-delete + add
+  // flow-mods over the (possibly flaky) control channel. A crashed switch's
+  // live table is empty, so the diff reinstalls its exact fresh set.
+  for (const int psw : failures.crashedSwitches) {
+    deployment.switches[psw]->table().clear();
+  }
+  int newTotal = 0;
+  std::uint64_t stream = 0;
+  for (int psw = 0; psw < plant_.numSwitches(); ++psw) {
+    openflow::FlowTable& live = deployment.switches[psw]->table();
+    const std::vector<openflow::FlowEntry>& desired = tables.value()[psw];
+    newTotal += static_cast<int>(desired.size());
+
+    std::map<std::string, int> want;
+    for (const openflow::FlowEntry& e : desired) ++want[ruleKey(e)];
+    std::vector<openflow::FlowEntry> toRemove;
+    for (const openflow::FlowEntry& e : live.entries()) {
+      const auto it = want.find(ruleKey(e));
+      if (it == want.end() || it->second == 0) {
+        toRemove.push_back(e);
+      } else {
+        --it->second;
+      }
+    }
+    std::map<std::string, int> have;
+    for (const openflow::FlowEntry& e : live.entries()) ++have[ruleKey(e)];
+    std::vector<const openflow::FlowEntry*> toAdd;
+    for (const openflow::FlowEntry& e : desired) {
+      const auto it = have.find(ruleKey(e));
+      if (it != have.end() && it->second > 0) {
+        --it->second;
+      } else {
+        toAdd.push_back(&e);
+      }
+    }
+
+    const auto install = [&](const char* what) -> Status<Error> {
+      const auto attempt = [&](int n) {
+        return options.controlChannel ? options.controlChannel(n) : true;
+      };
+      const retry::RetryResult rr =
+          retry::retryWithBackoff(options.retry, stream++, attempt);
+      report.installRetries += rr.attempts - 1;
+      report.retryBackoffTime += rr.elapsed;
+      if (!rr.succeeded) {
+        return makeError(strFormat(
+            "repair: switch %d unreachable over control channel (%s flow-mod "
+            "failed after %d attempts)",
+            psw, what, rr.attempts));
+      }
+      return {};
+    };
+    for (const openflow::FlowEntry& e : toRemove) {
+      if (auto s = install("strict-delete"); !s) return s.error();
+      live.removeExact(e);
+    }
+    for (const openflow::FlowEntry* e : toAdd) {
+      if (auto s = install("add"); !s) return s.error();
+      openflow::FlowEntry fresh = *e;
+      fresh.packetCount = 0;
+      fresh.byteCount = 0;
+      if (auto s = live.add(std::move(fresh)); !s) return s.error();
+    }
+    report.flowModsRemoved += static_cast<int>(toRemove.size());
+    report.flowModsAdded += static_cast<int>(toAdd.size());
+  }
+
+  deployment.totalFlowEntries = 0;
+  deployment.maxEntriesPerSwitch = 0;
+  for (const auto& ofs : deployment.switches) {
+    const int n = static_cast<int>(ofs->table().size());
+    deployment.totalFlowEntries += n;
+    deployment.maxEntriesPerSwitch = std::max(deployment.maxEntriesPerSwitch, n);
+  }
+  report.fullRedeployFlowMods = oldTotal + newTotal;
+  report.repairTime =
+      projection::reconfigTime(projection::TpMethod::kSDT, report.flowMods()) +
+      report.retryBackoffTime;
+
+  // Phase 4 — deadlock re-check on the degraded topology. Advisory: a
+  // detour-induced CDG cycle is reported, not fatal (see RepairReport).
+  if (report.degraded && options.deploy.requireDeadlockFree) {
+    report.deadlockChecked = true;
+    const routing::DeadlockReport dl = routing::analyzeDeadlock(topo, *degradedRouting);
+    report.deadlockFree = dl.error.empty() && dl.deadlockFree;
+  }
+  return report;
 }
 
 }  // namespace sdt::controller

@@ -21,10 +21,13 @@
 // modeled reconfiguration-time estimate (projection::reconfigTime).
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/retry.hpp"
 #include "openflow/of_switch.hpp"
 #include "projection/feasibility.hpp"
 #include "projection/link_projector.hpp"
@@ -61,6 +64,65 @@ struct CheckReport {
   int maxFlowEntriesPerSwitch = 0;
 };
 
+/// Input to repair(): what the Network Monitor (or an operator) observed.
+struct FailureSet {
+  /// Failed physical fabric ports (from NetworkMonitor::failedPorts()).
+  /// A cut cable contributes both of its ends.
+  std::vector<projection::PhysPort> ports;
+  /// Physical switches whose flow tables were wiped (power cycle); their
+  /// ports are assumed healthy — the cure is reinstalling entries.
+  std::vector<int> crashedSwitches;
+
+  [[nodiscard]] bool empty() const { return ports.empty() && crashedSwitches.empty(); }
+};
+
+struct RepairOptions {
+  DeployOptions deploy;
+  /// Backoff policy for modeled flow-mod installs over a flaky control
+  /// channel (common/retry.hpp).
+  retry::RetryPolicy retry;
+  /// Per-attempt success oracle (sim::FaultInjector::controlChannel());
+  /// null means the control channel never fails.
+  std::function<bool(int)> controlChannel;
+};
+
+/// A logical link repair() could not re-project (no spare physical link).
+struct SeveredLink {
+  int logicalLink = -1;  ///< index into Topology::links()
+  topo::SwitchPort a;
+  topo::SwitchPort b;
+};
+
+/// What repair() did, and what it could not do. `degraded` deployments keep
+/// forwarding between every pair the surviving links can still connect;
+/// `unreachablePairs` lists the rest (their packets die on table miss, they
+/// do not black-hole into failed ports).
+struct RepairReport {
+  // Re-projection outcome.
+  int remappedLinks = 0;  ///< logical links moved onto spare physical links
+  std::vector<SeveredLink> severedLinks;  ///< no spare: routed around instead
+  std::vector<std::pair<topo::HostId, topo::HostId>> unreachablePairs;
+  bool degraded = false;  ///< some logical links stayed severed
+
+  // Incremental flow-table delta (strict-delete + add flow-mods), vs. what a
+  // full reconfigure() teardown+reinstall would have cost.
+  int flowModsRemoved = 0;
+  int flowModsAdded = 0;
+  int fullRedeployFlowMods = 0;
+  [[nodiscard]] int flowMods() const { return flowModsRemoved + flowModsAdded; }
+
+  // Control-channel accounting (modeled time, folded into repairTime).
+  int installRetries = 0;  ///< attempts beyond the first, summed over installs
+  TimeNs retryBackoffTime = 0;
+  TimeNs repairTime = 0;  ///< modeled reconfiguration time of the repair
+
+  // Deadlock re-check on the degraded topology (runs when links were severed
+  // and deploy.requireDeadlockFree is set). A cycle is reported, not fatal:
+  // degraded connectivity with a PFC-storm risk still beats no connectivity.
+  bool deadlockChecked = false;
+  bool deadlockFree = true;
+};
+
 class SdtController {
  public:
   explicit SdtController(projection::Plant plant) : plant_(std::move(plant)) {}
@@ -88,6 +150,21 @@ class SdtController {
                                                const topo::Topology& next,
                                                const routing::RoutingAlgorithm& routing,
                                                const DeployOptions& options = {}) const;
+
+  /// Self-healing re-projection (no cable moves, no human): re-project the
+  /// logical links riding on failed physical ports onto spare healthy
+  /// physical links, recompile *only the affected flow entries* (incremental
+  /// strict-delete/add diff against the live tables — crashed switches fall
+  /// out naturally, their whole table is "missing"), and patch `deployment`
+  /// in place. When no spare exists the logical link is severed: surviving
+  /// traffic is re-routed around it (routing::DegradedRouting) and the
+  /// report lists the severed links and newly unreachable host pairs.
+  /// `routing` must be the algorithm the deployment was compiled with.
+  [[nodiscard]] Result<RepairReport> repair(Deployment& deployment,
+                                            const topo::Topology& topo,
+                                            const routing::RoutingAlgorithm& routing,
+                                            const FailureSet& failures,
+                                            const RepairOptions& options = {}) const;
 
  private:
   projection::Plant plant_;

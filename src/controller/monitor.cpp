@@ -1,5 +1,7 @@
 #include "controller/monitor.hpp"
 
+#include <algorithm>
+
 namespace sdt::controller {
 
 NetworkMonitor::NetworkMonitor(sim::Simulator& sim, sim::Network& net,
@@ -22,7 +24,31 @@ void NetworkMonitor::start(TimeNs period, double ewmaGain) {
   period_ = period;
   gain_ = ewmaGain;
   running_ = true;
-  sim_->schedule(period_, [this]() { sample(); });
+  ++epoch_;
+  sim_->schedule(period_, [this, e = epoch_]() { sample(e); });
+}
+
+void NetworkMonitor::enableFailureDetection(TimeNs detectionTimeout) {
+  detectFailures_ = true;
+  detectionTimeout_ = detectionTimeout;
+  // Build the watch set over the polled plane: the physical fabric ports
+  // carrying projected links in SDT mode, every logical fabric port in
+  // full-testbed mode. Watch construction seeds lastTxPackets from the live
+  // counters so pre-existing traffic is not mistaken for progress.
+  for (topo::SwitchId sw = 0; sw < topo_->numSwitches(); ++sw) {
+    for (topo::PortId p = 0; p < static_cast<int>(ewma_[sw].size()); ++p) {
+      int physSw = sw;
+      int physPort = p;
+      if (projection_ != nullptr) {
+        const projection::PhysPort pp = projection_->physOf(topo::SwitchPort{sw, p});
+        if (!pp.valid()) continue;  // host-facing logical port
+        physSw = pp.sw;
+        physPort = pp.port;
+      }
+      Watch& w = watches_[{physSw, physPort}];  // dedupe: one watch per phys port
+      w.lastTxPackets = net_->switchPortCounters(physSw, physPort).txPackets;
+    }
+  }
 }
 
 void NetworkMonitor::poll(topo::SwitchId sw, topo::PortId port, double gain) {
@@ -37,15 +63,73 @@ void NetworkMonitor::poll(topo::SwitchId sw, topo::PortId port, double gain) {
   ewma_[sw][port] = (1.0 - gain) * ewma_[sw][port] + gain * static_cast<double>(bytes);
 }
 
-void NetworkMonitor::sample() {
-  if (!running_) return;
+void NetworkMonitor::checkFailures() {
+  const TimeNs now = sim_->now();
+  for (auto& [key, w] : watches_) {
+    if (w.reported) continue;
+    const auto [sw, port] = key;
+    const std::uint64_t tx = net_->switchPortCounters(sw, port).txPackets;
+    const bool down = !net_->isPortUp(sw, port);
+    // Counter stall: tx frozen across the sample while backlog waits. A PFC
+    // pause shows the same signature, which is what the timeout debounces.
+    const bool stalled = !down && tx == w.lastTxPackets &&
+                         net_->switchEgressBytes(sw, port) > 0;
+    w.lastTxPackets = tx;
+    if (!down && !stalled) {
+      w.suspectedAt = -1;  // signature cleared (pause lifted, port recovered)
+      continue;
+    }
+    if (w.suspectedAt < 0) {
+      w.suspectedAt = now;
+      w.suspectedDown = down;
+      if (detectionTimeout_ > 0) continue;  // zero timeout: detect immediately
+    }
+    if (now - w.suspectedAt < detectionTimeout_) continue;
+
+    PortFailure failure;
+    failure.sw = sw;
+    failure.port = port;
+    failure.reportedDown = w.suspectedDown || down;
+    failure.suspectedAt = w.suspectedAt;
+    failure.detectedAt = now;
+    if (projection_ != nullptr) {
+      failure.logicalPort = projection_->logicalAt(projection::PhysPort{sw, port});
+    }
+    w.reported = true;
+    failures_.push_back(failure);
+    if (failureCallback_) failureCallback_(failures_.back());
+  }
+}
+
+void NetworkMonitor::sample(std::uint64_t epoch) {
+  if (!running_ || epoch != epoch_) return;  // stopped or superseded by restart
   ++samples_;
   for (topo::SwitchId sw = 0; sw < topo_->numSwitches(); ++sw) {
     for (topo::PortId p = 0; p < static_cast<int>(ewma_[sw].size()); ++p) {
       poll(sw, p, gain_);
     }
   }
-  sim_->schedule(period_, [this]() { sample(); });
+  if (detectFailures_) checkFailures();
+  sim_->schedule(period_, [this, e = epoch_]() { sample(e); });
+}
+
+std::vector<projection::PhysPort> NetworkMonitor::failedPorts() const {
+  std::vector<projection::PhysPort> ports;
+  ports.reserve(failures_.size());
+  for (const PortFailure& f : failures_) {
+    ports.push_back(projection::PhysPort{f.sw, f.port});
+  }
+  return ports;
+}
+
+void NetworkMonitor::clearFailures() {
+  failures_.clear();
+  for (auto& [key, w] : watches_) {
+    w.suspectedAt = -1;
+    w.suspectedDown = false;
+    w.reported = false;
+    w.lastTxPackets = net_->switchPortCounters(key.first, key.second).txPackets;
+  }
 }
 
 double NetworkMonitor::load(topo::SwitchId sw, topo::PortId port) const {

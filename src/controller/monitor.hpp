@@ -9,8 +9,24 @@
 // The monitor is projection-aware: in SDT mode it translates logical ports
 // to the physical ports it actually polls; in full-testbed mode the mapping
 // is the identity.
+//
+// Failure detection (the second control-plane duty, enableFailureDetection):
+// each sample also checks every polled fabric port for two failure
+// signatures —
+//   1. the port reports down (loss-of-signal after a cable cut), or
+//   2. its tx counters froze while backlog sits in the egress queue (a
+//      silently wedged transceiver).
+// A port showing either signature becomes *suspect*; if the signature
+// persists for `detectionTimeout` of simulated time it is *detected* and a
+// PortFailure record (with both timestamps) is emitted. The timeout
+// debounces transients: a long PFC pause also freezes tx over backlog, so
+// detection must outlast the longest legitimate pause. Detected ports feed
+// SdtController::repair() via failedPorts().
 #pragma once
 
+#include <functional>
+#include <map>
+#include <optional>
 #include <vector>
 
 #include "projection/projection.hpp"
@@ -19,6 +35,18 @@
 #include "sim/simulator.hpp"
 
 namespace sdt::controller {
+
+/// One detected port failure, in the plane the monitor polls (physical for
+/// SDT mode, logical for full-testbed mode).
+struct PortFailure {
+  int sw = -1;
+  int port = -1;
+  bool reportedDown = false;  ///< signature 1 (vs. counter stall, signature 2)
+  TimeNs suspectedAt = 0;     ///< first sample showing the signature
+  TimeNs detectedAt = 0;      ///< sample that outlasted the detection timeout
+  /// SDT mode: the logical switch port mapped onto the failed physical port.
+  std::optional<topo::SwitchPort> logicalPort;
+};
 
 class NetworkMonitor {
  public:
@@ -31,8 +59,29 @@ class NetworkMonitor {
   /// Start periodic sampling (call before Simulator::run()).
   void start(TimeNs period = usToNs(20.0), double ewmaGain = 0.3);
 
-  /// Stop sampling (lets Simulator::run() drain its queue and finish).
-  void stop() { running_ = false; }
+  /// Stop sampling. Already-queued sample events no-op (epoch-guarded), so a
+  /// stopped monitor takes zero further samples and a later start() cannot
+  /// double-chain.
+  void stop() {
+    running_ = false;
+    ++epoch_;
+  }
+
+  /// Arm failure detection (before or after start()). `detectionTimeout` is
+  /// how long a failure signature must persist before the port is declared
+  /// failed; worst-case detection latency is timeout + 2 sample periods.
+  void enableFailureDetection(TimeNs detectionTimeout);
+
+  /// Failures detected so far, in detection order.
+  [[nodiscard]] const std::vector<PortFailure>& portFailures() const { return failures_; }
+  /// The failed ports as the projection plane's PhysPort set (repair input).
+  [[nodiscard]] std::vector<projection::PhysPort> failedPorts() const;
+  /// Notification hook, fired once per port at detection time.
+  void onPortFailure(std::function<void(const PortFailure&)> callback) {
+    failureCallback_ = std::move(callback);
+  }
+  /// Forget detected/suspect state (after repair) so ports are watched anew.
+  void clearFailures();
 
   /// EWMA of queued bytes at logical (switch, port).
   [[nodiscard]] double load(topo::SwitchId sw, topo::PortId port) const;
@@ -43,8 +92,17 @@ class NetworkMonitor {
   [[nodiscard]] std::uint64_t samplesTaken() const { return samples_; }
 
  private:
-  void sample();
+  /// Per-watched-port failure bookkeeping (keyed by polled-plane (sw,port)).
+  struct Watch {
+    std::uint64_t lastTxPackets = 0;
+    TimeNs suspectedAt = -1;   ///< -1: healthy
+    bool suspectedDown = false;
+    bool reported = false;
+  };
+
+  void sample(std::uint64_t epoch);
   void poll(topo::SwitchId sw, topo::PortId port, double gain);
+  void checkFailures();
 
   sim::Simulator* sim_;
   sim::Network* net_;
@@ -55,6 +113,13 @@ class NetworkMonitor {
   std::vector<std::vector<double>> ewma_;  ///< [sw][port]
   std::uint64_t samples_ = 0;
   bool running_ = false;
+  std::uint64_t epoch_ = 0;  ///< bumped by start()/stop(); stale events no-op
+
+  bool detectFailures_ = false;
+  TimeNs detectionTimeout_ = 0;
+  std::map<std::pair<int, int>, Watch> watches_;  ///< polled-plane (sw, port)
+  std::vector<PortFailure> failures_;
+  std::function<void(const PortFailure&)> failureCallback_;
 };
 
 }  // namespace sdt::controller

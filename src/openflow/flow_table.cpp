@@ -35,6 +35,11 @@ std::string Match::describe() const {
   return out;
 }
 
+bool sameRule(const FlowEntry& a, const FlowEntry& b) {
+  return a.priority == b.priority && a.cookie == b.cookie && a.match == b.match &&
+         a.actions == b.actions;
+}
+
 Status<Error> FlowTable::add(FlowEntry entry) {
   if (full()) {
     return makeError(strFormat("flow table full (%zu entries)", capacity_));
@@ -56,6 +61,16 @@ std::size_t FlowTable::removeByCookie(std::uint64_t cookie) {
   entries_.erase(it, entries_.end());
   indexDirty_ = indexDirty_ || removed > 0;
   return removed;
+}
+
+bool FlowTable::removeExact(const FlowEntry& entry) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(), [&](const FlowEntry& e) {
+    return sameRule(e, entry);
+  });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  indexDirty_ = true;
+  return true;
 }
 
 void FlowTable::clear() {

@@ -50,6 +50,8 @@ struct Match {
   [[nodiscard]] int specificity() const;
 
   [[nodiscard]] std::string describe() const;
+
+  bool operator==(const Match&) const = default;
 };
 
 enum class ActionType {
@@ -67,6 +69,8 @@ struct Action {
   static Action setQueue(int queue) { return {ActionType::kSetQueue, queue}; }
   static Action setVc(int vc) { return {ActionType::kSetVc, vc}; }
   static Action drop() { return {ActionType::kDrop, 0}; }
+
+  bool operator==(const Action&) const = default;
 };
 
 struct FlowEntry {
@@ -81,6 +85,10 @@ struct FlowEntry {
   std::uint64_t packetCount = 0;
   std::uint64_t byteCount = 0;
 };
+
+/// Rule identity: same priority/match/actions/cookie, counters ignored.
+/// The controller's incremental table diff (repair) keys on this.
+[[nodiscard]] bool sameRule(const FlowEntry& a, const FlowEntry& b);
 
 /// Priority-ordered table with a hard capacity (mirrors TCAM limits).
 ///
@@ -108,6 +116,10 @@ class FlowTable {
 
   /// Remove all entries with the given cookie; returns how many.
   std::size_t removeByCookie(std::uint64_t cookie);
+
+  /// Remove the first entry identical to `entry` under sameRule() (an
+  /// OpenFlow strict-delete flow-mod); returns whether one was found.
+  bool removeExact(const FlowEntry& entry);
 
   void clear();
 

@@ -12,8 +12,15 @@ void Projection::mapPort(topo::SwitchPort logical, PhysPort phys) {
   if (static_cast<int>(ports.size()) <= logical.port) {
     ports.resize(static_cast<std::size_t>(logical.port) + 1);
   }
+  // Remapping (repair moving a link to a spare port): drop the stale reverse
+  // entry or logicalAt() would keep answering for the abandoned port.
+  if (ports[logical.port].valid()) reverse_.erase(ports[logical.port]);
   ports[logical.port] = phys;
   reverse_[phys] = logical;
+}
+
+void Projection::rerealizeLink(int realizedIdx, int newPhysLink) {
+  realized_[realizedIdx].physLink = newPhysLink;
 }
 
 PhysPort Projection::physOf(topo::SwitchPort logical) const {

@@ -54,6 +54,9 @@ class Projection {
   void setPhysSwitchOf(topo::SwitchId sw, int physSwitch) { physSwitchOf_[sw] = physSwitch; }
   void mapHost(topo::HostId host, PhysPort phys) { hostPort_[host] = phys; }
   void addRealizedLink(RealizedLink rl) { realized_.push_back(rl); }
+  /// Repair: move realized link `realizedIdx` onto a different physical link
+  /// of the same kind (remap the endpoint ports via mapPort separately).
+  void rerealizeLink(int realizedIdx, int newPhysLink);
   /// Register an optical circuit (pair of flex ports); returns its index.
   int addOpticalCircuit(PhysLink circuit) {
     circuits_.push_back(circuit);

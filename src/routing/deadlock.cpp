@@ -64,6 +64,11 @@ DeadlockReport analyzeDeadlock(const topo::Topology& topo,
         auto hop = algo->nextHop(state.sw, state.dst,
                                  state.vc, static_cast<std::uint64_t>(probe));
         if (!hop) {
+          // An unroutable *injection* state means the pair is unreachable
+          // (a degraded topology severed every path); it contributes no
+          // channel dependencies, so skip it. Failing mid-path — while
+          // holding a channel — is a genuine routing dead end.
+          if (inChannel < 0) continue;
           report.error = hop.error().message;
           return report;
         }

@@ -1,0 +1,73 @@
+#include "routing/degraded.hpp"
+
+#include <deque>
+
+#include "common/strings.hpp"
+
+namespace sdt::routing {
+
+DegradedRouting::DegradedRouting(const topo::Topology& topo,
+                                 std::vector<int> severedLinks, int numVcs)
+    : RoutingAlgorithm(topo), severed_(std::move(severedLinks)), vcs_(numVcs) {
+  severedMask_.assign(topo.links().size(), 0);
+  for (const int li : severed_) {
+    if (li >= 0 && li < static_cast<int>(severedMask_.size())) severedMask_[li] = 1;
+  }
+  // Per-destination BFS over the surviving switch graph. Can't reuse
+  // Topology::switchGraph(): its edge indices don't correspond to link
+  // indices once parallel links exist, so walk the link list directly.
+  const int n = topo.numSwitches();
+  dist_.assign(static_cast<std::size_t>(n), {});
+  for (int target = 0; target < n; ++target) {
+    std::vector<int>& dist = dist_[target];
+    dist.assign(static_cast<std::size_t>(n), -1);
+    dist[target] = 0;
+    std::deque<int> frontier{target};
+    while (!frontier.empty()) {
+      const int sw = frontier.front();
+      frontier.pop_front();
+      for (const int li : topo.linksOf(sw)) {
+        if (severedMask_[li]) continue;
+        const int peer = topo.link(li).peerOf(sw).sw;
+        if (dist[peer] < 0) {
+          dist[peer] = dist[sw] + 1;
+          frontier.push_back(peer);
+        }
+      }
+    }
+  }
+}
+
+std::vector<topo::PortId> DegradedRouting::candidates(topo::SwitchId sw,
+                                                      topo::HostId dst) const {
+  const topo::SwitchId target = topo_->hostSwitch(dst);
+  const std::vector<int>& dist = dist_[target];
+  std::vector<topo::PortId> out;
+  for (const int li : topo_->linksOf(sw)) {
+    if (severedMask_[li]) continue;
+    const topo::Link& link = topo_->link(li);
+    const topo::SwitchPort mine = link.a.sw == sw ? link.a : link.b;
+    const topo::SwitchPort peer = link.peerOf(sw);
+    if (dist[peer.sw] >= 0 && dist[sw] >= 0 && dist[peer.sw] == dist[sw] - 1) {
+      out.push_back(mine.port);
+    }
+  }
+  return out;
+}
+
+bool DegradedRouting::reachable(topo::SwitchId sw, topo::HostId dst) const {
+  return dist_[topo_->hostSwitch(dst)][sw] >= 0;
+}
+
+Result<Hop> DegradedRouting::nextHop(topo::SwitchId sw, topo::HostId dst, int vc,
+                                     std::uint64_t flowHash) const {
+  const auto cands = candidates(sw, dst);
+  if (cands.empty()) {
+    return makeError(strFormat(
+        "degraded-shortest: no surviving route from switch %d to host %d (%zu link(s) severed)",
+        sw, dst, severed_.size()));
+  }
+  return Hop{cands[flowHash % cands.size()], vc};
+}
+
+}  // namespace sdt::routing

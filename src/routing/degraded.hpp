@@ -1,0 +1,52 @@
+// Shortest-path routing on a *degraded* topology: the logical graph minus a
+// set of severed links.
+//
+// Used by SdtController::repair() when a physical failure cannot be
+// re-projected onto a spare port: the affected logical links are marked
+// severed and the survivors route around them. Same deterministic per-flow
+// ECMP as ShortestPathRouting; pairs left disconnected by the damage simply
+// have no candidates (nextHop errors), and repair() reports them as
+// unreachable instead of installing black-hole entries.
+#pragma once
+
+#include <vector>
+
+#include "routing/routing.hpp"
+
+namespace sdt::routing {
+
+class DegradedRouting : public RoutingAlgorithm {
+ public:
+  /// `severedLinks` are indices into Topology::links() to route around.
+  /// `numVcs` preserves the VC dimension of the routing being replaced so
+  /// recompiled flow tables keep their shape (entries still match per-VC).
+  DegradedRouting(const topo::Topology& topo, std::vector<int> severedLinks,
+                  int numVcs = 1);
+
+  [[nodiscard]] std::string name() const override { return "degraded-shortest"; }
+  [[nodiscard]] int numVcs() const override { return vcs_; }
+  [[nodiscard]] Result<Hop> nextHop(topo::SwitchId sw, topo::HostId dst, int vc,
+                                    std::uint64_t flowHash) const override;
+
+  /// Equal-cost out-ports at `sw` toward `dst`, severed links excluded.
+  [[nodiscard]] std::vector<topo::PortId> candidates(topo::SwitchId sw,
+                                                     topo::HostId dst) const;
+
+  [[nodiscard]] bool isSevered(int linkIndex) const {
+    return linkIndex >= 0 && linkIndex < static_cast<int>(severedMask_.size()) &&
+           severedMask_[linkIndex] != 0;
+  }
+  [[nodiscard]] const std::vector<int>& severedLinks() const { return severed_; }
+
+  /// Whether `sw` can still reach `dst`'s switch over surviving links.
+  [[nodiscard]] bool reachable(topo::SwitchId sw, topo::HostId dst) const;
+
+ private:
+  std::vector<int> severed_;
+  std::vector<char> severedMask_;  ///< [link index] -> severed?
+  /// dist_[dstSwitch][sw] = hop distance over surviving links (-1 unreachable).
+  std::vector<std::vector<int>> dist_;
+  int vcs_;
+};
+
+}  // namespace sdt::routing

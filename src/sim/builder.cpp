@@ -1,6 +1,7 @@
 #include "sim/builder.hpp"
 
 #include <cassert>
+#include <unordered_map>
 
 namespace sdt::sim {
 
@@ -100,19 +101,45 @@ BuiltNetwork buildProjectedNetwork(Simulator& sim, const topo::Topology& topo,
     (void)id;
   }
 
-  // Wire exactly the physical links the projection realized, at the logical
-  // link's configured speed (ports are breakout-configured to match).
+  // The plant's fixed cabling is installed once and never moves (§IV), so
+  // wire *every* fixed cable — not just the ones this projection realized.
+  // Spare cables carry no flow entries (no traffic can touch them), but they
+  // are exactly the healthy ports SdtController::repair() re-projects onto
+  // after a failure, so the data plane must have them. Realized links run at
+  // the logical link's configured speed (breakout), spares at native port
+  // speed. On-demand optical circuits exist only while realized.
+  std::unordered_map<int, Gbps> selfSpeed;
+  std::unordered_map<int, Gbps> interSpeed;
   for (const projection::RealizedLink& rl : projection.realizedLinks()) {
     const topo::Link& logical = topo.link(rl.logicalLink);
-    const projection::PhysLink& phys =
-        rl.optical ? projection.opticalCircuits()[rl.physLink]
-                   : (rl.interSwitch ? plant.interLinks[rl.physLink]
-                                     : plant.selfLinks[rl.physLink]);
-    // Optical circuits detour through the OCS: a little extra fiber.
-    TimeNs prop = rl.interSwitch ? config.interSwitchPropDelay : config.selfLinkPropDelay;
-    if (rl.optical) prop += 25;
-    net.connectSwitches(phys.a.sw, phys.a.port, phys.b.sw, phys.b.port, logical.speed,
-                        prop);
+    if (rl.optical) {
+      const projection::PhysLink& phys = projection.opticalCircuits()[rl.physLink];
+      // Optical circuits detour through the OCS: a little extra fiber.
+      const TimeNs prop =
+          (rl.interSwitch ? config.interSwitchPropDelay : config.selfLinkPropDelay) + 25;
+      net.connectSwitches(phys.a.sw, phys.a.port, phys.b.sw, phys.b.port, logical.speed,
+                          prop);
+    } else if (rl.interSwitch) {
+      interSpeed.emplace(rl.physLink, logical.speed);
+    } else {
+      selfSpeed.emplace(rl.physLink, logical.speed);
+    }
+  }
+  for (std::size_t i = 0; i < plant.selfLinks.size(); ++i) {
+    const projection::PhysLink& phys = plant.selfLinks[i];
+    const auto it = selfSpeed.find(static_cast<int>(i));
+    const Gbps speed =
+        it != selfSpeed.end() ? it->second : plant.switches[phys.a.sw].portSpeed;
+    net.connectSwitches(phys.a.sw, phys.a.port, phys.b.sw, phys.b.port, speed,
+                        config.selfLinkPropDelay);
+  }
+  for (std::size_t i = 0; i < plant.interLinks.size(); ++i) {
+    const projection::PhysLink& phys = plant.interLinks[i];
+    const auto it = interSpeed.find(static_cast<int>(i));
+    const Gbps speed =
+        it != interSpeed.end() ? it->second : plant.switches[phys.a.sw].portSpeed;
+    net.connectSwitches(phys.a.sw, phys.a.port, phys.b.sw, phys.b.port, speed,
+                        config.interSwitchPropDelay);
   }
   for (topo::HostId h = 0; h < topo.numHosts(); ++h) {
     const projection::PhysPort pp = projection.hostPortOf(h);

@@ -74,6 +74,27 @@ void Network::connectHost(int host, int sw, int port, Gbps speed, TimeNs propDel
   sp.propDelay = propDelay;
 }
 
+void Network::setPortUp(int sw, int port, bool up) {
+  Port& p = switches_[sw].ports[port];
+  if (p.up == up) return;
+  p.up = up;
+  // Down: start draining the queue into fault drops. Up: resume service.
+  kickService(NodeRef{NodeRef::Kind::kSwitch, sw}, port);
+}
+
+void Network::setPortStalled(int sw, int port, bool stalled) {
+  Port& p = switches_[sw].ports[port];
+  if (p.stalled == stalled) return;
+  p.stalled = stalled;
+  if (!stalled) kickService(NodeRef{NodeRef::Kind::kSwitch, sw}, port);
+}
+
+void Network::setPortImpairment(int sw, int port, double dropProb, double corruptProb) {
+  Port& p = switches_[sw].ports[port];
+  p.dropProb = dropProb;
+  p.corruptProb = corruptProb;
+}
+
 Network::Port& Network::portOf(NodeRef node, int port) {
   return node.kind == NodeRef::Kind::kSwitch ? switches_[node.idx].ports[port]
                                              : hosts_[node.idx].nic;
@@ -192,6 +213,34 @@ void Network::kickService(NodeRef node, int port) {
 void Network::serviceEgress(NodeRef node, int port) {
   Port& p = portOf(node, port);
   p.serviceScheduled = false;
+  if (p.stalled) return;  // wedged transmitter: backlog builds, counters freeze
+  if (!p.up) {
+    // Dead fiber: the queue drains into fault drops, one frame per tick, so
+    // PFC ingress accounting unwinds exactly as if the frames had been sent.
+    int cls = -1;
+    for (int c = kNumClasses - 1; c >= 0; --c) {
+      if (p.egress.bytes[c] > 0) {
+        cls = c;
+        break;
+      }
+    }
+    if (cls < 0) return;
+    const std::uint32_t pooled = p.egress.head[cls];
+    p.egress.head[cls] = pool_.nextOf(pooled);
+    if (p.egress.head[cls] == kNil) p.egress.tail[cls] = kNil;
+    const Packet packet = pool_.release(pooled);
+    p.egress.bytes[cls] -= packet.wireBytes();
+    p.egress.totalBytes -= packet.wireBytes();
+    if (node.kind == NodeRef::Kind::kSwitch && packet.simIngressPort >= 0) {
+      releaseIngress(node.idx, packet.simIngressPort, packet);
+    }
+    ++totalDrops_;
+    ++faultDrops_;
+    ++p.counters.drops;
+    ++p.counters.faultDrops;
+    kickService(node, port);
+    return;
+  }
   if (sim_->now() < p.busyUntil) {
     kickService(node, port);
     return;
@@ -250,6 +299,25 @@ void Network::arriveAtSwitch(int sw, int inPort, Packet packet) {
   ++p.counters.rxPackets;
   p.counters.rxBytes += static_cast<std::uint64_t>(packet.wireBytes());
 
+  if (!p.up) {  // link went down while the frame was in flight
+    ++totalDrops_;
+    ++faultDrops_;
+    ++p.counters.drops;
+    ++p.counters.faultDrops;
+    return;
+  }
+  if (p.dropProb > 0.0 && faultRng_.uniform() < p.dropProb) {
+    ++totalDrops_;
+    ++faultDrops_;
+    ++p.counters.drops;
+    ++p.counters.faultDrops;
+    return;
+  }
+  if (p.corruptProb > 0.0 && faultRng_.uniform() < p.corruptProb) {
+    packet.corrupted = true;
+    ++p.counters.corruptedPackets;
+  }
+
   const ForwardResult decision = dev.forwarder(packet, inPort);
   if (decision.drop || decision.outPort < 0) {
     ++totalDrops_;
@@ -269,6 +337,13 @@ void Network::deliverToHost(int host, const Packet& packet) {
   HostDev& dev = hosts_[host];
   ++dev.nic.counters.rxPackets;
   dev.nic.counters.rxBytes += static_cast<std::uint64_t>(packet.wireBytes());
+  if (packet.corrupted) {  // NIC CRC check rejects the damaged frame
+    ++totalDrops_;
+    ++faultDrops_;
+    ++dev.nic.counters.drops;
+    ++dev.nic.counters.faultDrops;
+    return;
+  }
   // NIC receive-side latency, then sniffer + transport.
   sim_->schedule(config_.nicLatency, [this, host, packet]() {
     HostDev& d = hosts_[host];

@@ -21,9 +21,12 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/rng.hpp"
 #include "sim/packet.hpp"
 #include "sim/simulator.hpp"
 
@@ -86,6 +89,8 @@ struct PortCounters {
   std::uint64_t drops = 0;
   std::uint64_t pausesSent = 0;
   std::uint64_t ecnMarks = 0;
+  std::uint64_t faultDrops = 0;        ///< drops caused by injected faults (subset of drops)
+  std::uint64_t corruptedPackets = 0;  ///< frames damaged by injected impairment
 };
 
 class Network {
@@ -107,6 +112,33 @@ class Network {
   /// Observation hook for every packet reaching the host ("Wireshark",
   /// used by the §VI-B isolation experiment).
   void setSniffer(int host, std::function<void(const Packet&)> sniffer);
+
+  // -- Fault injection (sim::FaultInjector drives these) --------------------
+  /// Take a switch port down/up. A down port black-holes: its egress queue
+  /// drains into fault drops (the transmit laser feeds a dead fiber) and
+  /// arriving frames are discarded. PFC ingress accounting stays balanced.
+  void setPortUp(int sw, int port, bool up);
+  [[nodiscard]] bool isPortUp(int sw, int port) const {
+    return switches_[sw].ports[port].up;
+  }
+  /// A stalled port keeps its queue (transceiver wedged, not reported down):
+  /// tx counters freeze while backlog builds — the counter-stall signature
+  /// the Network Monitor's failure detector looks for.
+  void setPortStalled(int sw, int port, bool stalled);
+  /// Probabilistic ingress impairment: drop frames with `dropProb`, damage
+  /// them with `corruptProb` (damaged frames die at the receiving NIC's CRC
+  /// check). Draws come from the fault RNG in event order, so runs with the
+  /// same seed are bit-identical.
+  void setPortImpairment(int sw, int port, double dropProb, double corruptProb);
+  void seedFaultRng(std::uint64_t seed) { faultRng_ = Rng(seed); }
+  [[nodiscard]] std::uint64_t faultDrops() const { return faultDrops_; }
+  /// Peer (switch, port) wired to (sw, port), if the peer is a switch —
+  /// what a cable cut must take down on the far side.
+  [[nodiscard]] std::optional<std::pair<int, int>> switchPeerOf(int sw, int port) const {
+    const Port& p = switches_[sw].ports[port];
+    if (p.peer.kind != NodeRef::Kind::kSwitch) return std::nullopt;
+    return std::make_pair(p.peer.idx, p.peerPort);
+  }
 
   // -- Introspection --------------------------------------------------------
   [[nodiscard]] Time now() const { return sim_->now(); }
@@ -176,6 +208,11 @@ class Network {
     EgressQueue egress;
     Time busyUntil = 0;
     bool serviceScheduled = false;
+    // Fault state (see setPortUp/setPortStalled/setPortImpairment).
+    bool up = true;
+    bool stalled = false;
+    double dropProb = 0.0;
+    double corruptProb = 0.0;
     // PFC ingress accounting (switch ports only).
     std::array<std::int64_t, kNumClasses> ingressBytes{};
     std::array<bool, kNumClasses> pauseSent{};
@@ -210,7 +247,9 @@ class Network {
   std::vector<SwitchDev> switches_;
   std::vector<HostDev> hosts_;
   std::uint64_t totalDrops_ = 0;
+  std::uint64_t faultDrops_ = 0;
   std::int64_t peakQueueBytes_ = 0;
+  Rng faultRng_;  ///< impairment draws only; untouched when no fault is armed
 };
 
 }  // namespace sdt::sim

@@ -28,6 +28,7 @@ struct Packet {
   std::uint8_t vc = 0;       ///< virtual channel == egress queue class for data
   bool ecnCapable = false;
   bool ecnMarked = false;
+  bool corrupted = false;      ///< frame damaged in flight (fault injection); NICs drop it
   std::uint64_t seq = 0;       ///< transport byte offset (TCP) / packet index (RoCE)
   std::uint64_t ackSeq = 0;    ///< cumulative ack (TCP)
   std::uint64_t messageId = 0; ///< RoCE message this segment belongs to

@@ -55,6 +55,26 @@ TEST(Monitor, StopEndsSampling) {
   EXPECT_EQ(monitor.samplesTaken(), samples);
 }
 
+TEST(Monitor, RestartDoesNotDoubleChain) {
+  sim::Simulator sim;
+  const topo::Topology topo = topo::makeLine(2);
+  routing::ShortestPathRouting routing(topo);
+  auto built = sim::buildLogicalNetwork(sim, topo, routing, {});
+  NetworkMonitor monitor(sim, *built.net, topo);
+  monitor.start(usToNs(10.0));
+  sim.runUntil(usToNs(95.0));
+  const auto before = monitor.samplesTaken();
+  EXPECT_GE(before, 9u);
+  // Restart while the old chain's next sample event is still queued: the
+  // epoch guard must kill the stale chain, leaving exactly one.
+  monitor.stop();
+  monitor.start(usToNs(10.0));
+  sim.runUntil(usToNs(195.0));
+  const auto after = monitor.samplesTaken() - before;
+  EXPECT_GE(after, 9u);
+  EXPECT_LE(after, 10u);  // a doubled chain would take ~20
+}
+
 TEST(Monitor, OutOfRangePortIsZero) {
   sim::Simulator sim;
   const topo::Topology topo = topo::makeLine(2);
