@@ -1,0 +1,172 @@
+// Transactional reconfiguration benchmark: the cost of a live two-phase
+// topology update (versioned rules + barrier + flip + GC) under increasingly
+// hostile control channels, plus the rollback latency when a switch is
+// unreachable past the retry budget.
+//
+// Table II bounds SDT reconfiguration at 100 ms ~ 1 s for a *cold* update;
+// this bench measures the live protocol: how many flow-mods the incremental
+// diff installs (vs the teardown+redeploy it replaced), how many barrier
+// round-trips the transaction needs, how long the update window stays open
+// (install-start to epoch flip), and how quickly an aborted update restores
+// the pure old-epoch state. Emits BENCH_reconfig.json.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "controller/controller.hpp"
+#include "controller/transaction.hpp"
+#include "routing/shortest_path.hpp"
+#include "sim/builder.hpp"
+#include "sim/consistency.hpp"
+#include "sim/control_channel.hpp"
+#include "sim/transport.hpp"
+
+using namespace sdt;
+
+namespace {
+
+struct UpdateOutcome {
+  bool committed = false;
+  bool rolledBack = false;
+  bool pure = false;
+  int flowModsInstalled = 0;
+  int flowModsRolledBack = 0;
+  int teardownRedeployMods = 0;  ///< what the pre-diff path would have sent
+  int barrierRoundTrips = 0;
+  int retriesTotal = 0;
+  TimeNs updateWindow = 0;
+  TimeNs rollbackLatency = 0;
+  std::size_t violations = 0;
+  std::size_t stamped = 0;
+};
+
+/// One live line(6) -> ring(6) update on a 2-switch plant carrying a TCP
+/// permutation, under the given channel impairments. (Both topologies pin
+/// host i to logical switch i, so host ports stay put and the update is
+/// plannable live.) `disconnectSwitch0Ns` > 0 severs switch 0's management
+/// link from t=0 for that long (forcing a rollback when it outlasts the
+/// install retry budget).
+UpdateOutcome runLiveUpdate(std::uint64_t seed, const sim::ControlChannelConfig& cfg,
+                            TimeNs disconnectSwitch0Ns = 0) {
+  UpdateOutcome out;
+  const topo::Topology from = topo::makeLine(6);
+  const topo::Topology to = topo::makeRing(6);
+  const routing::ShortestPathRouting rFrom(from);
+  const routing::ShortestPathRouting rTo(to);
+  auto plantR = projection::planPlant({&from, &to}, {.numSwitches = 2});
+  if (!plantR) std::abort();
+  const projection::Plant& plant = plantR.value();
+  controller::SdtController ctl(plant);
+  auto depR = ctl.deploy(from, rFrom);
+  if (!depR) std::abort();
+  controller::Deployment dep = std::move(depR).value();
+  const int oldTotal = dep.totalFlowEntries;
+
+  sim::Simulator sim;
+  sim::EpochConsistencyChecker checker;
+  sim::BuiltNetwork built = sim::buildProjectedNetwork(
+      sim, from, dep.projection, plant, dep.switches, {}, {2.0, 1.0}, &checker);
+  sim::TransportManager tm(sim, *built.net, {});
+
+  sim::ControlChannel channel(sim, seed, cfg);
+  if (disconnectSwitch0Ns > 0) channel.disconnect(0, 0, disconnectSwitch0Ns);
+
+  controller::DeployOptions dopt;
+  dopt.requireDeadlockFree = false;  // ring + shortest path: cyclic CDG
+  auto planR = ctl.planUpdate(dep, to, rTo, dopt);
+  if (!planR) std::abort();
+  const int newTotal = planR.value().totalEntries;
+
+  controller::ReconfigTransaction tx(sim, channel, dep, std::move(planR).value());
+  const int hosts = from.numHosts();
+  for (int h = 0; h < hosts; ++h) {
+    tm.startTcpFlow(h, (h + hosts / 2) % hosts, 128 * kKiB, nullptr);
+  }
+  sim.schedule(usToNs(100.0), [&]() { tx.start(); });
+  sim.runUntil(msToNs(100.0));
+  if (!tx.finished()) std::abort();
+
+  const controller::ReconfigReport& r = tx.report();
+  out.committed = r.committed;
+  out.rolledBack = r.rolledBack;
+  out.pure = r.pureStateVerified;
+  out.flowModsInstalled = r.flowModsInstalled;
+  out.flowModsRolledBack = r.flowModsRolledBack;
+  out.teardownRedeployMods = oldTotal + newTotal;  // delete-all + install-all
+  out.barrierRoundTrips = r.barrierRoundTrips;
+  out.retriesTotal = r.retriesTotal;
+  out.updateWindow = r.updateWindow();
+  out.rollbackLatency = r.rollbackLatency;
+  out.violations = checker.violations().size();
+  out.stamped = checker.stampedPackets();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Live reconfiguration: two-phase update cost vs channel loss ==\n");
+  bench::JsonReport report("reconfig");
+
+  // Sweep control-channel drop probability; dup/reorder ride along at half
+  // the drop rate to keep the mix realistic.
+  std::printf("\n%8s %10s %10s %9s %9s %12s %10s %6s\n", "drop", "mods",
+              "t+r mods", "barriers", "retries", "window(us)", "stamped", "pure");
+  bench::printRule(82);
+  double cleanWindowUs = 0.0;
+  for (const double drop : {0.0, 0.1, 0.2, 0.3}) {
+    sim::ControlChannelConfig cfg;
+    cfg.dropProb = drop;
+    cfg.dupProb = drop / 2;
+    cfg.reorderProb = drop / 2;
+    const UpdateOutcome out = runLiveUpdate(2023, cfg);
+    if (!out.committed || !out.pure || out.violations != 0) {
+      std::printf("  WARN: drop=%.1f did not commit pure (violations=%zu)\n", drop,
+                  out.violations);
+    }
+    const double windowUs = static_cast<double>(out.updateWindow) / 1e3;
+    if (drop == 0.0) cleanWindowUs = windowUs;
+    std::printf("%8.1f %10d %10d %9d %9d %12.1f %10zu %6s\n", drop,
+                out.flowModsInstalled, out.teardownRedeployMods,
+                out.barrierRoundTrips, out.retriesTotal, windowUs, out.stamped,
+                out.pure ? "yes" : "NO");
+    report.row("drop_sweep", {{"drop_prob", drop},
+                              {"flow_mods", out.flowModsInstalled},
+                              {"teardown_redeploy_flow_mods", out.teardownRedeployMods},
+                              {"barrier_round_trips", out.barrierRoundTrips},
+                              {"retries", out.retriesTotal},
+                              {"update_window_us", windowUs},
+                              {"stamped_packets", static_cast<std::int64_t>(out.stamped)},
+                              {"pure", out.pure},
+                              {"violations", static_cast<std::int64_t>(out.violations)}});
+    if (drop == 0.0) {
+      report.set("flow_mods", out.flowModsInstalled);
+      report.set("teardown_redeploy_flow_mods", out.teardownRedeployMods);
+      report.set("flow_mod_fraction",
+                 static_cast<double>(out.flowModsInstalled) /
+                     static_cast<double>(out.teardownRedeployMods));
+      report.set("barrier_round_trips", out.barrierRoundTrips);
+      report.set("update_window_us", windowUs);
+    }
+  }
+  bench::printRule(82);
+  std::printf("clean-channel update window: %.1f us\n", cleanWindowUs);
+
+  // Rollback latency: switch 0 unreachable past the whole install budget.
+  {
+    sim::ControlChannelConfig cfg;
+    const UpdateOutcome out = runLiveUpdate(2023, cfg, msToNs(3.0));
+    if (!out.rolledBack || !out.pure) {
+      std::printf("WARN: disconnect scenario did not roll back pure\n");
+    }
+    const double rollbackMs = static_cast<double>(out.rollbackLatency) / 1e6;
+    std::printf("\nrollback: abort after %d retries, pure old epoch restored in "
+                "%.2f ms (%d adds undone)\n",
+                out.retriesTotal, rollbackMs, out.flowModsRolledBack);
+    report.set("rollback_latency_ms", rollbackMs);
+    report.set("rollback_flow_mods_undone", out.flowModsRolledBack);
+    report.set("rollback_pure", out.pure);
+  }
+
+  report.write();
+  return 0;
+}

@@ -20,10 +20,14 @@ namespace {
 /// `severedMask` (repair path) marks logical links lost to failures: they
 /// are excluded from the reachability computation, so pairs they disconnect
 /// get no entries (table miss) instead of failing the compile.
+/// `epoch` is stamped into every entry's cookie (consistent updates): rules
+/// carry the configuration epoch they belong to, so packets stamped at
+/// ingress only match their own configuration during a two-phase update.
 Result<std::vector<std::vector<openflow::FlowEntry>>> compileFlowTables(
     const topo::Topology& topo, const projection::Projection& projection,
     const projection::Plant& plant, const routing::RoutingAlgorithm& routing,
-    const DeployOptions& options, const std::vector<char>* severedMask = nullptr) {
+    const DeployOptions& options, std::uint32_t epoch,
+    const std::vector<char>* severedMask = nullptr) {
   std::vector<std::vector<openflow::FlowEntry>> tables(
       static_cast<std::size_t>(plant.numSwitches()));
   const int vcs = routing.numVcs();
@@ -120,7 +124,8 @@ Result<std::vector<std::vector<openflow::FlowEntry>>> compileFlowTables(
             if (isHostPort && vc != 0) continue;
             if (!isHostPort) entry.match.trafficClass = static_cast<std::uint8_t>(vc);
           }
-          entry.cookie = static_cast<std::uint64_t>(sw) + 1;
+          entry.cookie =
+              openflow::makeCookie(epoch, static_cast<std::uint32_t>(sw) + 1);
           if (!local && hop.vc != vc) {
             entry.actions.push_back(openflow::Action::setVc(hop.vc));
           }
@@ -133,16 +138,52 @@ Result<std::vector<std::vector<openflow::FlowEntry>>> compileFlowTables(
   return tables;
 }
 
-/// Serialized rule identity for the repair diff's multiset keys (counters
-/// excluded, like openflow::sameRule).
+/// Serialized rule identity for the incremental diffs' multiset keys.
+/// Counters are excluded (like openflow::sameRule) and so is the cookie's
+/// *epoch* half: a rule that survives a reconfiguration unchanged except for
+/// its epoch stamp is the same rule — charging a delete+add for it would
+/// make every diff as expensive as a full redeploy.
 std::string ruleKey(const openflow::FlowEntry& e) {
-  std::string key = strFormat("p%d c%llu m", e.priority,
-                              static_cast<unsigned long long>(e.cookie));
+  std::string key = strFormat("p%d c%u m", e.priority, openflow::cookieTag(e.cookie));
   key += e.match.describe();
   for (const openflow::Action& a : e.actions) {
     key += strFormat(" a%d:%d", static_cast<int>(a.type), a.arg);
   }
   return key;
+}
+
+/// Per-switch multiset diff of a live table against the desired entry list:
+/// what an incremental update must strict-delete and add. Shared by
+/// repair() and the diff-based reconfigure().
+struct TableDiff {
+  std::vector<openflow::FlowEntry> toRemove;        ///< copies of live entries
+  std::vector<const openflow::FlowEntry*> toAdd;    ///< pointers into desired
+};
+
+TableDiff diffTable(const openflow::FlowTable& live,
+                    const std::vector<openflow::FlowEntry>& desired) {
+  TableDiff diff;
+  std::map<std::string, int> want;
+  for (const openflow::FlowEntry& e : desired) ++want[ruleKey(e)];
+  for (const openflow::FlowEntry& e : live.entries()) {
+    const auto it = want.find(ruleKey(e));
+    if (it == want.end() || it->second == 0) {
+      diff.toRemove.push_back(e);
+    } else {
+      --it->second;
+    }
+  }
+  std::map<std::string, int> have;
+  for (const openflow::FlowEntry& e : live.entries()) ++have[ruleKey(e)];
+  for (const openflow::FlowEntry& e : desired) {
+    const auto it = have.find(ruleKey(e));
+    if (it != have.end() && it->second > 0) {
+      --it->second;
+    } else {
+      diff.toAdd.push_back(&e);
+    }
+  }
+  return diff;
 }
 
 }  // namespace
@@ -327,10 +368,11 @@ Result<Deployment> SdtController::deploy(const topo::Topology& topo,
   auto proj = projection::LinkProjector::project(topo, plant_, options.projector);
   if (!proj) return proj.error();
 
-  auto tables = compileFlowTables(topo, proj.value(), plant_, routing, options);
+  Deployment deployment;  // epoch defaults to 1: the first configuration
+  auto tables =
+      compileFlowTables(topo, proj.value(), plant_, routing, options, deployment.epoch);
   if (!tables) return tables.error();
 
-  Deployment deployment;
   deployment.projection = std::move(proj).value();
   for (int psw = 0; psw < plant_.numSwitches(); ++psw) {
     const projection::PhysicalSwitchSpec& spec = plant_.switches[psw];
@@ -346,6 +388,7 @@ Result<Deployment> SdtController::deploy(const topo::Topology& topo,
     for (const openflow::FlowEntry& e : entries) {
       if (auto s = ofs->table().add(e); !s) return s.error();
     }
+    ofs->setIngressEpoch(deployment.epoch);
     deployment.totalFlowEntries += static_cast<int>(entries.size());
     deployment.maxEntriesPerSwitch =
         std::max(deployment.maxEntriesPerSwitch, static_cast<int>(entries.size()));
@@ -362,12 +405,81 @@ Result<Deployment> SdtController::reconfigure(const Deployment& previous,
                                               const DeployOptions& options) const {
   auto deployment = deploy(next, routing, options);
   if (!deployment) return deployment;
-  // Tear-down of the previous tables is batched with the install; the
-  // dominant term stays per-entry flow-mod cost.
-  deployment.value().reconfigTime = projection::reconfigTime(
-      projection::TpMethod::kSDT,
-      previous.totalFlowEntries + deployment.value().totalFlowEntries);
+  // Incremental install: per switch, only the multiset difference between
+  // the previous live table and the recompiled one costs flow-mods. The
+  // per-entry flow-mod cost stays the dominant reconfiguration term (Table
+  // II), so shrinking the mod count is exactly what shrinks the downtime.
+  int mods = 0;
+  for (int psw = 0; psw < plant_.numSwitches(); ++psw) {
+    const TableDiff diff = diffTable(previous.switches[psw]->table(),
+                                     deployment.value().switches[psw]->table().entries());
+    mods += static_cast<int>(diff.toRemove.size() + diff.toAdd.size());
+  }
+  deployment.value().reconfigFlowMods = mods;
+  deployment.value().reconfigTime =
+      projection::reconfigTime(projection::TpMethod::kSDT, mods);
   return deployment;
+}
+
+Result<UpdatePlan> SdtController::planUpdate(const Deployment& current,
+                                             const topo::Topology& next,
+                                             const routing::RoutingAlgorithm& routing,
+                                             const DeployOptions& options) const {
+  if (options.requireDeadlockFree) {
+    const routing::DeadlockReport dl = routing::analyzeDeadlock(next, routing);
+    if (!dl.error.empty()) {
+      return makeError("deadlock analysis failed: " + dl.error);
+    }
+    if (!dl.deadlockFree) {
+      return makeError(strFormat(
+          "routing '%s' on '%s' has a channel-dependency cycle; refusing a "
+          "live update on a lossless fabric",
+          routing.name().c_str(), next.name().c_str()));
+    }
+  }
+  auto proj = projection::LinkProjector::project(next, plant_, options.projector);
+  if (!proj) return proj.error();
+
+  // Host-port stability: fabric links can move between fixed cables because
+  // the spares are already wired, but a host NIC sits on one physical port —
+  // a plan that moves it would need a human with a cable mid-update.
+  for (topo::HostId h = 0; h < next.numHosts(); ++h) {
+    const projection::PhysPort was = current.projection.hostPortOf(h);
+    const projection::PhysPort now = proj.value().hostPortOf(h);
+    if (!(was == now)) {
+      return makeError(strFormat(
+          "live update would move host %d from physical port %d/%d to %d/%d; "
+          "host NICs cannot be recabled mid-run",
+          h, was.sw, was.port, now.sw, now.port));
+    }
+  }
+
+  UpdatePlan plan;
+  plan.fromEpoch = current.epoch;
+  plan.toEpoch = current.epoch + 1;
+  auto tables =
+      compileFlowTables(next, proj.value(), plant_, routing, options, plan.toEpoch);
+  if (!tables) return tables.error();
+
+  // Two-version capacity: during the update window each switch holds its
+  // full live table *plus* the full next-epoch set (§VII-C is the binding
+  // constraint doubled). Checked here so capacity can never abort an
+  // in-flight transaction.
+  for (int psw = 0; psw < plant_.numSwitches(); ++psw) {
+    const std::size_t live = current.switches[psw]->table().size();
+    const std::size_t add = tables.value()[psw].size();
+    const std::size_t capacity = plant_.switches[psw].flowTableCapacity;
+    if (live + add > capacity) {
+      return makeError(strFormat(
+          "two-phase update needs %zu + %zu flow entries on physical switch "
+          "%d during the window, '%s' holds %zu",
+          live, add, psw, plant_.switches[psw].model.c_str(), capacity));
+    }
+    plan.totalEntries += static_cast<int>(add);
+  }
+  plan.projection = std::move(proj).value();
+  plan.tables = std::move(tables).value();
+  return plan;
 }
 
 Result<RepairReport> SdtController::repair(Deployment& deployment,
@@ -466,6 +578,7 @@ Result<RepairReport> SdtController::repair(Deployment& deployment,
   }
 
   auto tables = compileFlowTables(topo, proj, plant_, *effective, options.deploy,
+                                  deployment.epoch,
                                   report.degraded ? &severedMask : nullptr);
   if (!tables) return tables.error();
 
@@ -483,28 +596,7 @@ Result<RepairReport> SdtController::repair(Deployment& deployment,
     const std::vector<openflow::FlowEntry>& desired = tables.value()[psw];
     newTotal += static_cast<int>(desired.size());
 
-    std::map<std::string, int> want;
-    for (const openflow::FlowEntry& e : desired) ++want[ruleKey(e)];
-    std::vector<openflow::FlowEntry> toRemove;
-    for (const openflow::FlowEntry& e : live.entries()) {
-      const auto it = want.find(ruleKey(e));
-      if (it == want.end() || it->second == 0) {
-        toRemove.push_back(e);
-      } else {
-        --it->second;
-      }
-    }
-    std::map<std::string, int> have;
-    for (const openflow::FlowEntry& e : live.entries()) ++have[ruleKey(e)];
-    std::vector<const openflow::FlowEntry*> toAdd;
-    for (const openflow::FlowEntry& e : desired) {
-      const auto it = have.find(ruleKey(e));
-      if (it != have.end() && it->second > 0) {
-        --it->second;
-      } else {
-        toAdd.push_back(&e);
-      }
-    }
+    const TableDiff diff = diffTable(live, desired);
 
     const auto install = [&](const char* what) -> Status<Error> {
       const auto attempt = [&](int n) {
@@ -522,19 +614,19 @@ Result<RepairReport> SdtController::repair(Deployment& deployment,
       }
       return {};
     };
-    for (const openflow::FlowEntry& e : toRemove) {
+    for (const openflow::FlowEntry& e : diff.toRemove) {
       if (auto s = install("strict-delete"); !s) return s.error();
       live.removeExact(e);
     }
-    for (const openflow::FlowEntry* e : toAdd) {
+    for (const openflow::FlowEntry* e : diff.toAdd) {
       if (auto s = install("add"); !s) return s.error();
       openflow::FlowEntry fresh = *e;
       fresh.packetCount = 0;
       fresh.byteCount = 0;
       if (auto s = live.add(std::move(fresh)); !s) return s.error();
     }
-    report.flowModsRemoved += static_cast<int>(toRemove.size());
-    report.flowModsAdded += static_cast<int>(toAdd.size());
+    report.flowModsRemoved += static_cast<int>(diff.toRemove.size());
+    report.flowModsAdded += static_cast<int>(diff.toAdd.size());
   }
 
   deployment.totalFlowEntries = 0;

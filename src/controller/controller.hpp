@@ -52,6 +52,14 @@ struct Deployment {
   int totalFlowEntries = 0;
   int maxEntriesPerSwitch = 0;
   TimeNs reconfigTime = 0;  ///< modeled table-install time (Table II row)
+  /// Configuration epoch the installed rules carry (and the switches stamp
+  /// onto ingress packets). deploy() starts at 1; each committed
+  /// transactional reconfiguration bumps it.
+  std::uint32_t epoch = 1;
+  /// reconfigure() only: flow-mods the incremental diff actually issued —
+  /// strictly fewer than the previous.total + next.total a full
+  /// teardown+redeploy would send whenever the tables overlap.
+  int reconfigFlowMods = 0;
 };
 
 /// check() output: what the plant must provide for a set of topologies.
@@ -84,6 +92,22 @@ struct RepairOptions {
   /// Per-attempt success oracle (sim::FaultInjector::controlChannel());
   /// null means the control channel never fails.
   std::function<bool(int)> controlChannel;
+};
+
+/// Compiled-but-not-installed next configuration: everything a transactional
+/// two-phase reconfiguration (controller/transaction.hpp) needs before it
+/// touches any switch. Produced by SdtController::planUpdate(), which runs
+/// every check that can abort *cleanly* — deadlock freedom, projection
+/// feasibility, host-port stability, and two-version table capacity — so a
+/// transaction that starts can only fail on the control channel.
+struct UpdatePlan {
+  projection::Projection projection;  ///< the next topology's projection
+  /// Per-physical-switch epoch-`toEpoch` entries to install alongside the
+  /// live epoch-`fromEpoch` set.
+  std::vector<std::vector<openflow::FlowEntry>> tables;
+  std::uint32_t fromEpoch = 0;
+  std::uint32_t toEpoch = 0;
+  int totalEntries = 0;
 };
 
 /// A logical link repair() could not re-project (no spare physical link).
@@ -143,13 +167,35 @@ class SdtController {
                                           const routing::RoutingAlgorithm& routing,
                                           const DeployOptions& options = {}) const;
 
-  /// Reconfiguration = tearing down `previous` and deploying `next`:
-  /// returns the new deployment with reconfigTime covering both phases.
-  /// No cable ever moves (the SDT claim).
+  /// Offline reconfiguration from `previous` to `next` (no cable ever moves,
+  /// the SDT claim). Instead of a full teardown+reinstall, the controller
+  /// diffs the previous live tables against the recompiled ones per switch
+  /// (the same multiset diff repair() uses) and only issues flow-mods for
+  /// the difference: reconfigTime and reconfigFlowMods in the returned
+  /// deployment cover exactly those mods — strictly fewer than
+  /// previous.total + next.total whenever the configurations share rules.
+  /// For a consistency-preserving *live* update, use planUpdate() plus
+  /// controller/transaction.hpp instead.
   [[nodiscard]] Result<Deployment> reconfigure(const Deployment& previous,
                                                const topo::Topology& next,
                                                const routing::RoutingAlgorithm& routing,
                                                const DeployOptions& options = {}) const;
+
+  /// Prepare phase of a transactional (two-phase, Reitblatt-style) live
+  /// reconfiguration: compile `next` into epoch-(current.epoch + 1) flow
+  /// entries and run every cleanly-abortable check —
+  ///   - deadlock freedom of the next routing (when options require it);
+  ///   - projection feasibility of `next` on the plant;
+  ///   - host-port stability: every host must keep its physical port, since
+  ///     hosts cannot be recabled mid-run (spare *fabric* cables are wired,
+  ///     host NICs are not);
+  ///   - two-version capacity: each switch must hold its live epoch-N rules
+  ///     plus the full epoch-N+1 set side by side during the update window.
+  /// Nothing is installed; a failure here leaves the deployment untouched.
+  [[nodiscard]] Result<UpdatePlan> planUpdate(const Deployment& current,
+                                              const topo::Topology& next,
+                                              const routing::RoutingAlgorithm& routing,
+                                              const DeployOptions& options = {}) const;
 
   /// Self-healing re-projection (no cable moves, no human): re-project the
   /// logical links riding on failed physical ports onto spare healthy

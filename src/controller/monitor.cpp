@@ -68,6 +68,14 @@ void NetworkMonitor::checkFailures() {
   for (auto& [key, w] : watches_) {
     if (w.reported) continue;
     const auto [sw, port] = key;
+    if (guarded(sw)) {
+      // Open reconfiguration transaction: whatever this port looks like
+      // right now is the transaction's doing, not a fault. Reset suspicion
+      // so the guard window never counts toward the detection timeout.
+      w.suspectedAt = -1;
+      w.lastTxPackets = net_->switchPortCounters(sw, port).txPackets;
+      continue;
+    }
     const std::uint64_t tx = net_->switchPortCounters(sw, port).txPackets;
     const bool down = !net_->isPortUp(sw, port);
     // Counter stall: tx frozen across the sample while backlog waits. A PFC
@@ -128,6 +136,21 @@ void NetworkMonitor::clearFailures() {
     w.suspectedAt = -1;
     w.suspectedDown = false;
     w.reported = false;
+    w.lastTxPackets = net_->switchPortCounters(key.first, key.second).txPackets;
+  }
+}
+
+void NetworkMonitor::guardSwitch(int sw) { ++guards_[sw]; }
+
+void NetworkMonitor::unguardSwitch(int sw) {
+  const auto it = guards_.find(sw);
+  if (it == guards_.end() || it->second == 0) return;
+  if (--it->second > 0) return;
+  // Last guard lifted: reseed the tx baseline so counter movement during
+  // the transaction is not misread as a fresh stall signature.
+  for (auto& [key, w] : watches_) {
+    if (key.first != sw) continue;
+    w.suspectedAt = -1;
     w.lastTxPackets = net_->switchPortCounters(key.first, key.second).txPackets;
   }
 }

@@ -83,6 +83,21 @@ class NetworkMonitor {
   /// Forget detected/suspect state (after repair) so ports are watched anew.
   void clearFailures();
 
+  /// Suppress failure detection for every watched port of polled-plane
+  /// switch `sw` while a reconfiguration transaction is open on it: bulk
+  /// flow-mods and ingress-epoch flips make tx counters stall over backlog
+  /// in exactly the pattern the wedged-transceiver detector looks for.
+  /// Guarded ports are skipped *and* their suspicion state is reset, so a
+  /// signature that started before the guard cannot fire right after it
+  /// lifts (unguard also reseeds the tx baseline from the live counters).
+  /// Guards nest (one per open transaction touching the switch).
+  void guardSwitch(int sw);
+  void unguardSwitch(int sw);
+  [[nodiscard]] bool guarded(int sw) const {
+    const auto it = guards_.find(sw);
+    return it != guards_.end() && it->second > 0;
+  }
+
   /// EWMA of queued bytes at logical (switch, port).
   [[nodiscard]] double load(topo::SwitchId sw, topo::PortId port) const;
 
@@ -117,6 +132,7 @@ class NetworkMonitor {
 
   bool detectFailures_ = false;
   TimeNs detectionTimeout_ = 0;
+  std::map<int, int> guards_;  ///< polled-plane sw -> open-transaction count
   std::map<std::pair<int, int>, Watch> watches_;  ///< polled-plane (sw, port)
   std::vector<PortFailure> failures_;
   std::function<void(const PortFailure&)> failureCallback_;

@@ -1,0 +1,317 @@
+#include "controller/transaction.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "controller/monitor.hpp"
+
+namespace sdt::controller {
+
+const char* reconfigPhaseName(ReconfigPhase phase) {
+  switch (phase) {
+    case ReconfigPhase::kPrepare: return "prepare";
+    case ReconfigPhase::kInstall: return "install";
+    case ReconfigPhase::kBarrier: return "barrier";
+    case ReconfigPhase::kFlip: return "flip";
+    case ReconfigPhase::kDrain: return "drain";
+    case ReconfigPhase::kGc: return "gc";
+    case ReconfigPhase::kDone: return "done";
+  }
+  return "?";
+}
+
+ReconfigTransaction::ReconfigTransaction(sim::Simulator& sim,
+                                         sim::ControlChannel& channel,
+                                         Deployment& deployment, UpdatePlan plan,
+                                         ReconfigOptions options, DoneFn done)
+    : sim_(&sim),
+      channel_(&channel),
+      deployment_(&deployment),
+      plan_(std::move(plan)),
+      options_(std::move(options)),
+      done_(std::move(done)) {
+  const auto n = static_cast<std::size_t>(numSwitches());
+  acked_.resize(n);
+  applied_.resize(n);
+  roundComplete_.assign(n, 0);
+  backoffRng_.reserve(n);
+  for (std::size_t sw = 0; sw < n; ++sw) {
+    std::uint64_t mix = options_.retry.seed ^ (0x7C0FF1E5ULL + sw);
+    backoffRng_.emplace_back(detail::splitmix64(mix));
+  }
+  report_.fromEpoch = plan_.fromEpoch;
+  report_.toEpoch = plan_.toEpoch;
+}
+
+bool* ReconfigTransaction::ackedFlag(int sw, Round round) {
+  SwitchTxState& s = acked_[static_cast<std::size_t>(sw)];
+  switch (round) {
+    case Round::kInstall: return &s.installAcked;
+    case Round::kBarrier: return &s.barrierAcked;
+    case Round::kFlip: return &s.flipAcked;
+    case Round::kGc: return &s.gcAcked;
+    case Round::kRollback: return &s.rollbackAcked;
+  }
+  return nullptr;
+}
+
+bool* ReconfigTransaction::appliedFlag(int sw, Round round) {
+  SwitchTxState& s = applied_[static_cast<std::size_t>(sw)];
+  switch (round) {
+    case Round::kInstall: return &s.installAcked;
+    case Round::kBarrier: return &s.barrierAcked;
+    case Round::kFlip: return &s.flipAcked;
+    case Round::kGc: return &s.gcAcked;
+    case Round::kRollback: return &s.rollbackAcked;
+  }
+  return nullptr;
+}
+
+void ReconfigTransaction::start() {
+  report_.startedAt = sim_->now();
+  phase_ = ReconfigPhase::kInstall;
+  report_.phaseReached = ReconfigPhase::kInstall;
+  currentRound_ = Round::kInstall;
+  if (options_.monitor != nullptr) {
+    for (int sw = 0; sw < numSwitches(); ++sw) options_.monitor->guardSwitch(sw);
+  }
+  for (int sw = 0; sw < numSwitches(); ++sw) startRound(sw, Round::kInstall, 1);
+}
+
+TimeNs ReconfigTransaction::backoffDelay(int sw, int attempt) {
+  // attempt is the one that just failed (1-based); mirror retryWithBackoff's
+  // capped exponential with deterministic jitter, but event-driven.
+  double wait = static_cast<double>(options_.retry.baseBackoff);
+  for (int i = 1; i < attempt; ++i) wait *= options_.retry.backoffMultiplier;
+  if (options_.retry.jitter > 0.0) {
+    wait *= 1.0 - options_.retry.jitter *
+                      backoffRng_[static_cast<std::size_t>(sw)].uniform();
+  }
+  const auto capped = static_cast<TimeNs>(wait);
+  return std::min(capped, options_.retry.maxBackoff);
+}
+
+void ReconfigTransaction::startRound(int sw, Round round, int attempt) {
+  if (finished_ || roundComplete_[static_cast<std::size_t>(sw)] != 0) return;
+  if (attempt > 1) {
+    ++report_.retriesTotal;
+    ++acked_[static_cast<std::size_t>(sw)].retries;
+  }
+  // Request travels to the switch; every delivered copy re-sends the ack
+  // (the *apply* is idempotent, the ack is not — a lost ack must be
+  // recoverable by retransmitting the request).
+  channel_->send(sw, [this, sw, round]() {
+    applyAtSwitch(sw, round);
+    channel_->send(sw, [this, sw, round]() { onAck(sw, round); });
+  });
+  const std::uint64_t gen = gen_;
+  sim_->schedule(options_.retry.attemptTimeout,
+                 [this, sw, round, attempt, gen]() {
+                   onRoundTimeout(sw, round, attempt, gen);
+                 });
+}
+
+void ReconfigTransaction::onRoundTimeout(int sw, Round round, int attempt,
+                                         std::uint64_t gen) {
+  if (finished_ || gen != gen_ || roundComplete_[static_cast<std::size_t>(sw)] != 0) {
+    return;
+  }
+  const bool boundless = round == Round::kFlip || round == Round::kRollback ||
+                         round == Round::kGc;
+  const int cap = boundless ? options_.commitAttempts : options_.retry.maxAttempts;
+  if (attempt >= cap) {
+    // Budget exhausted. Bounded phases before the commit point abort the
+    // whole transaction; the forward-only phases give up on this switch and
+    // let finish() report the unverified state.
+    if (round == Round::kInstall || round == Round::kBarrier) {
+      abort(round == Round::kInstall ? ReconfigPhase::kInstall
+                                     : ReconfigPhase::kBarrier,
+            strFormat("switch %d unreachable in %s phase after %d attempts", sw,
+                      round == Round::kInstall ? "install" : "barrier", attempt));
+      return;
+    }
+    stuck_ = true;
+    if (round == Round::kGc) report_.gcIncomplete = true;
+    roundComplete_[static_cast<std::size_t>(sw)] = 1;
+    ++roundAcks_;
+    if (roundAcks_ == numSwitches()) advancePhase();
+    return;
+  }
+  const TimeNs backoff = backoffDelay(sw, attempt);
+  sim_->schedule(backoff, [this, sw, round, attempt, gen]() {
+    if (finished_ || gen != gen_ ||
+        roundComplete_[static_cast<std::size_t>(sw)] != 0) {
+      return;
+    }
+    startRound(sw, round, attempt + 1);
+  });
+}
+
+void ReconfigTransaction::applyAtSwitch(int sw, Round round) {
+  if (finished_) return;
+  openflow::Switch& ofs = *deployment_->switches[static_cast<std::size_t>(sw)];
+  SwitchTxState& done = applied_[static_cast<std::size_t>(sw)];
+  switch (round) {
+    case Round::kInstall: {
+      // A request that limps in after this switch already processed the
+      // abort must not resurrect the new epoch's rules.
+      if (done.installAcked || done.rollbackAcked) break;
+      for (const openflow::FlowEntry& e : plan_.tables[static_cast<std::size_t>(sw)]) {
+        if (auto s = ofs.table().add(e); !s) {
+          abort(ReconfigPhase::kInstall,
+                strFormat("switch %d rejected a flow-mod: %s", sw,
+                          s.error().message.c_str()));
+          return;
+        }
+        ++report_.flowModsInstalled;
+      }
+      done.installAcked = true;
+      break;
+    }
+    case Round::kBarrier:
+      // Barriers are naturally idempotent; every delivered request is
+      // processed (and separately acked), like a real OpenFlow agent.
+      ofs.barrier();
+      break;
+    case Round::kFlip:
+      ofs.setIngressEpoch(plan_.toEpoch);
+      done.flipAcked = true;
+      break;
+    case Round::kGc:
+      if (done.gcAcked) break;
+      report_.flowModsGarbageCollected +=
+          static_cast<int>(ofs.table().removeByEpoch(plan_.fromEpoch));
+      done.gcAcked = true;
+      break;
+    case Round::kRollback:
+      if (done.rollbackAcked) break;
+      report_.flowModsRolledBack +=
+          static_cast<int>(ofs.table().removeByEpoch(plan_.toEpoch));
+      done.rollbackAcked = true;
+      break;
+  }
+}
+
+void ReconfigTransaction::onAck(int sw, Round round) {
+  if (finished_) return;
+  bool* flag = ackedFlag(sw, round);
+  if (*flag) return;  // duplicate or retransmitted ack
+  *flag = true;
+  if (round == Round::kBarrier) ++report_.barrierRoundTrips;
+  // Only acks for the round in progress advance the protocol; a stale ack
+  // from an earlier phase (or one arriving after this switch's give-up was
+  // recorded) just updates the bookkeeping above.
+  if (round != currentRound_ || roundComplete_[static_cast<std::size_t>(sw)] != 0) {
+    return;
+  }
+  roundComplete_[static_cast<std::size_t>(sw)] = 1;
+  ++roundAcks_;
+  if (roundAcks_ == numSwitches()) advancePhase();
+}
+
+void ReconfigTransaction::advancePhase() {
+  ++gen_;
+  std::fill(roundComplete_.begin(), roundComplete_.end(), 0);
+  roundAcks_ = 0;
+  switch (currentRound_) {
+    case Round::kInstall:
+      phase_ = ReconfigPhase::kBarrier;
+      report_.phaseReached = ReconfigPhase::kBarrier;
+      currentRound_ = Round::kBarrier;
+      for (int sw = 0; sw < numSwitches(); ++sw) startRound(sw, Round::kBarrier, 1);
+      break;
+    case Round::kBarrier:
+      // Commit point: the first flip message may stamp a packet with the new
+      // epoch the moment it lands, after which rollback is off the table.
+      phase_ = ReconfigPhase::kFlip;
+      report_.phaseReached = ReconfigPhase::kFlip;
+      currentRound_ = Round::kFlip;
+      for (int sw = 0; sw < numSwitches(); ++sw) startRound(sw, Round::kFlip, 1);
+      break;
+    case Round::kFlip: {
+      report_.updateWindowEnd = sim_->now();
+      phase_ = ReconfigPhase::kDrain;
+      report_.phaseReached = ReconfigPhase::kDrain;
+      const std::uint64_t gen = gen_;
+      sim_->schedule(options_.drainDelay, [this, gen]() {
+        if (!finished_ && gen == gen_) beginGc();
+      });
+      break;
+    }
+    case Round::kGc:
+      report_.committed = true;
+      report_.phaseReached = ReconfigPhase::kDone;
+      finish();
+      break;
+    case Round::kRollback:
+      report_.rolledBack = true;
+      report_.rollbackLatency = sim_->now() - abortAt_;
+      finish();
+      break;
+  }
+}
+
+void ReconfigTransaction::beginGc() {
+  ++gen_;
+  phase_ = ReconfigPhase::kGc;
+  report_.phaseReached = ReconfigPhase::kGc;
+  currentRound_ = Round::kGc;
+  std::fill(roundComplete_.begin(), roundComplete_.end(), 0);
+  roundAcks_ = 0;
+  for (int sw = 0; sw < numSwitches(); ++sw) startRound(sw, Round::kGc, 1);
+}
+
+void ReconfigTransaction::abort(ReconfigPhase at, const std::string& why) {
+  if (aborting_ || finished_) return;
+  aborting_ = true;
+  if (static_cast<int>(at) > static_cast<int>(report_.phaseReached)) {
+    report_.phaseReached = at;
+  }
+  report_.failure = why;
+  abortAt_ = sim_->now();
+  ++gen_;  // cancels every outstanding install/barrier retry
+  std::fill(roundComplete_.begin(), roundComplete_.end(), 0);
+  roundAcks_ = 0;
+  currentRound_ = Round::kRollback;
+  for (int sw = 0; sw < numSwitches(); ++sw) startRound(sw, Round::kRollback, 1);
+}
+
+void ReconfigTransaction::finish() {
+  finished_ = true;
+  report_.finishedAt = sim_->now();
+
+  // Purity audit: after a committed transaction every switch must hold only
+  // epoch-N+1 rules and stamp N+1; after a rollback, only epoch-N and stamp
+  // N. (Epoch-0 wildcard rules — none in SDT-compiled tables — would pass
+  // either way by construction.)
+  const std::uint32_t keep = report_.committed ? plan_.toEpoch : plan_.fromEpoch;
+  const std::uint32_t gone = report_.committed ? plan_.fromEpoch : plan_.toEpoch;
+  bool pure = true;
+  for (int sw = 0; sw < numSwitches(); ++sw) {
+    const openflow::Switch& ofs = *deployment_->switches[static_cast<std::size_t>(sw)];
+    if (ofs.table().countEpoch(gone) != 0 || ofs.ingressEpoch() != keep) {
+      pure = false;
+      if (report_.committed) report_.gcIncomplete = true;
+    }
+  }
+  report_.pureStateVerified = pure && !stuck_;
+
+  if (report_.committed) {
+    deployment_->projection = plan_.projection;
+    deployment_->epoch = plan_.toEpoch;
+    deployment_->totalFlowEntries = 0;
+    deployment_->maxEntriesPerSwitch = 0;
+    for (const auto& ofs : deployment_->switches) {
+      const int n = static_cast<int>(ofs->table().size());
+      deployment_->totalFlowEntries += n;
+      deployment_->maxEntriesPerSwitch = std::max(deployment_->maxEntriesPerSwitch, n);
+    }
+  }
+  if (options_.monitor != nullptr) {
+    for (int sw = 0; sw < numSwitches(); ++sw) options_.monitor->unguardSwitch(sw);
+  }
+  report_.switches = acked_;
+  if (done_) done_(report_);
+}
+
+}  // namespace sdt::controller

@@ -1,0 +1,197 @@
+// Transactional (two-phase, Reitblatt-style) live reconfiguration over an
+// unreliable control channel.
+//
+// The offline reconfigure() path swaps tables while no traffic flows; this
+// module changes the topology *under live traffic* while preserving
+// per-packet consistency: every packet is forwarded end-to-end by exactly
+// one configuration epoch's rules. The protocol, driven entirely by
+// simulator events so it interleaves with data-plane traffic:
+//
+//   prepare   SdtController::planUpdate() compiled epoch-N+1 tables and ran
+//             every cleanly-abortable check (capacity for both versions,
+//             host-port stability, deadlock freedom). Nothing installed yet.
+//   install   Each switch receives its epoch-N+1 bundle over the control
+//             channel. The new rules sit alongside the live epoch-N set but
+//             are unreachable: ingress still stamps N, and the flow-table
+//             epoch gate hides N+1 rules from N-stamped packets.
+//   barrier   An OpenFlow barrier request/ack round per switch confirms the
+//             bundle is processed. Install and barrier rounds retry with
+//             bounded backoff; exhausting the budget on any switch aborts
+//             the transaction and rolls back (bulk-delete of epoch N+1 on
+//             every switch) — safe at any moment before the first flip,
+//             because no packet has ever been stamped N+1.
+//   flip      The commit point. Each switch atomically starts stamping
+//             ingress packets with N+1. Flips retry (effectively) unbounded:
+//             past this point rollback would strand in-flight N+1 packets,
+//             so the protocol only moves forward. Mixed flip states are
+//             safe — both rule sets are installed everywhere.
+//   drain     A grace period for in-flight epoch-N packets to leave the
+//             fabric (the consistency checker flags a too-short drain as
+//             kMidPathMiss).
+//   gc        Bulk-delete epoch N on every switch (one flow-mod each).
+//             Forward-only like flip: there is no rollback from a committed
+//             state, so gc retries to the commitAttempts backstop. Only if
+//             that backstop trips does the transaction finish committed with
+//             gcIncomplete set for the garbage-bearing switch.
+//
+// Message semantics: requests and acks both traverse the ControlChannel, so
+// either can be dropped, duplicated, reordered, or delayed. Switch-side
+// application is idempotent (per-(switch, phase) applied flags, modeling
+// OpenFlow xid dedup), so duplicates and retries of already-applied requests
+// are harmless.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/retry.hpp"
+#include "common/rng.hpp"
+#include "controller/controller.hpp"
+#include "sim/control_channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace sdt::controller {
+
+class NetworkMonitor;
+
+enum class ReconfigPhase : std::uint8_t {
+  kPrepare,
+  kInstall,
+  kBarrier,
+  kFlip,
+  kDrain,
+  kGc,
+  kDone,
+};
+
+const char* reconfigPhaseName(ReconfigPhase phase);
+
+struct ReconfigOptions {
+  /// Retry budget and backoff shape for the bounded phases (install,
+  /// barrier, gc). attemptTimeout doubles as the controller's ack wait.
+  retry::RetryPolicy retry;
+  /// Grace period between the last flip ack and garbage collection, for
+  /// in-flight old-epoch packets to drain out of the fabric.
+  TimeNs drainDelay = msToNs(1.0);
+  /// Per-switch attempt cap for flip and rollback rounds. These phases must
+  /// not give up (flip: past the commit point; rollback: purity depends on
+  /// it), so the cap is only a termination backstop for simulations whose
+  /// channel never delivers; reaching it is reported as unverified state.
+  int commitAttempts = 1000;
+  /// When set, the monitor suppresses failure detection for every switch
+  /// for the duration of the transaction (reconfiguration makes counters
+  /// stall and queues wobble in ways that mimic the failure signatures).
+  NetworkMonitor* monitor = nullptr;
+};
+
+/// Per-switch protocol outcome (index == physical switch id).
+struct SwitchTxState {
+  bool installAcked = false;
+  bool barrierAcked = false;
+  bool flipAcked = false;
+  bool gcAcked = false;        ///< epoch-N delete (commit) acked
+  bool rollbackAcked = false;  ///< epoch-N+1 delete (abort) acked
+  int retries = 0;             ///< send attempts beyond the first, all phases
+};
+
+struct ReconfigReport {
+  bool committed = false;
+  bool rolledBack = false;
+  /// Farthest phase the transaction entered (kDone only when committed and
+  /// garbage collection finished everywhere).
+  ReconfigPhase phaseReached = ReconfigPhase::kPrepare;
+  std::uint32_t fromEpoch = 0;
+  std::uint32_t toEpoch = 0;
+
+  // Flow-mod accounting (switch-side effects, deduplicated).
+  int flowModsInstalled = 0;         ///< epoch-N+1 adds applied
+  int flowModsRolledBack = 0;        ///< entries removed by abort bulk-deletes
+  int flowModsGarbageCollected = 0;  ///< epoch-N entries removed after commit
+  int barrierRoundTrips = 0;         ///< barrier request->ack rounds completed
+  int retriesTotal = 0;              ///< resends beyond first attempts, all rounds
+
+  TimeNs startedAt = 0;
+  TimeNs updateWindowEnd = 0;  ///< all flips acked (committed transactions)
+  TimeNs finishedAt = 0;
+  /// Install start -> last flip ack: how long both rule versions coexisted
+  /// before the new configuration owned all ingress stamping.
+  [[nodiscard]] TimeNs updateWindow() const { return updateWindowEnd - startedAt; }
+  /// Abort decision -> rollback done (aborted transactions only).
+  TimeNs rollbackLatency = 0;
+
+  /// Post-transaction audit: every switch holds rules of exactly one epoch
+  /// (the new one when committed, the old one when rolled back) and stamps
+  /// that epoch at ingress. False means an unreachable switch kept garbage.
+  bool pureStateVerified = false;
+  bool gcIncomplete = false;  ///< committed, but some epoch-N rules survive
+
+  std::vector<SwitchTxState> switches;
+  std::string failure;  ///< abort cause (empty when committed)
+};
+
+/// One in-flight transactional reconfiguration. The deployment, channel,
+/// and simulator must outlive the transaction; the transaction must outlive
+/// the simulation run it is started into (it owns per-switch protocol state
+/// that in-flight control messages reference).
+class ReconfigTransaction {
+ public:
+  using DoneFn = std::function<void(const ReconfigReport&)>;
+
+  /// `deployment` is mutated on commit (projection, epoch, entry totals) and
+  /// left untouched on rollback. `plan` must come from planUpdate() against
+  /// this same deployment.
+  ReconfigTransaction(sim::Simulator& sim, sim::ControlChannel& channel,
+                      Deployment& deployment, UpdatePlan plan,
+                      ReconfigOptions options = {}, DoneFn done = nullptr);
+
+  /// Kick off the install phase (schedules simulator events; the protocol
+  /// then runs concurrently with whatever traffic the simulation carries).
+  void start();
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] ReconfigPhase phase() const { return phase_; }
+  [[nodiscard]] const ReconfigReport& report() const { return report_; }
+
+ private:
+  enum class Round : std::uint8_t { kInstall, kBarrier, kFlip, kGc, kRollback };
+
+  [[nodiscard]] int numSwitches() const {
+    return static_cast<int>(deployment_->switches.size());
+  }
+  void startRound(int sw, Round round, int attempt);
+  void applyAtSwitch(int sw, Round round);
+  void onAck(int sw, Round round);
+  void onRoundTimeout(int sw, Round round, int attempt, std::uint64_t gen);
+  [[nodiscard]] TimeNs backoffDelay(int sw, int attempt);
+  void advancePhase();
+  void abort(ReconfigPhase at, const std::string& why);
+  void beginGc();
+  void finish();
+  [[nodiscard]] bool* ackedFlag(int sw, Round round);
+  [[nodiscard]] bool* appliedFlag(int sw, Round round);
+
+  sim::Simulator* sim_;
+  sim::ControlChannel* channel_;
+  Deployment* deployment_;
+  UpdatePlan plan_;
+  ReconfigOptions options_;
+  DoneFn done_;
+
+  ReconfigPhase phase_ = ReconfigPhase::kPrepare;
+  Round currentRound_ = Round::kInstall;
+  bool aborting_ = false;
+  bool finished_ = false;
+  bool stuck_ = false;  ///< some forward-only round exhausted its backstop
+  std::uint64_t gen_ = 0;  ///< bumped on phase change; stale timeouts no-op
+  TimeNs abortAt_ = 0;
+  ReconfigReport report_;
+  std::vector<SwitchTxState> acked_;    ///< controller-side ack bookkeeping
+  std::vector<SwitchTxState> applied_;  ///< switch-side idempotency flags
+  std::vector<char> roundComplete_;     ///< per-switch, reset each phase
+  std::vector<Rng> backoffRng_;         ///< deterministic jitter per switch
+  int roundAcks_ = 0;  ///< switches done with the current global phase
+};
+
+}  // namespace sdt::controller

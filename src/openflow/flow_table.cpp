@@ -63,6 +63,23 @@ std::size_t FlowTable::removeByCookie(std::uint64_t cookie) {
   return removed;
 }
 
+std::size_t FlowTable::removeByEpoch(std::uint32_t epoch) {
+  const auto it = std::remove_if(entries_.begin(), entries_.end(), [&](const FlowEntry& e) {
+    return cookieEpoch(e.cookie) == epoch;
+  });
+  const auto removed = static_cast<std::size_t>(entries_.end() - it);
+  entries_.erase(it, entries_.end());
+  indexDirty_ = indexDirty_ || removed > 0;
+  return removed;
+}
+
+std::size_t FlowTable::countEpoch(std::uint32_t epoch) const {
+  return static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(), [&](const FlowEntry& e) {
+        return cookieEpoch(e.cookie) == epoch;
+      }));
+}
+
 bool FlowTable::removeExact(const FlowEntry& entry) {
   const auto it = std::find_if(entries_.begin(), entries_.end(), [&](const FlowEntry& e) {
     return sameRule(e, entry);
@@ -94,13 +111,20 @@ void FlowTable::buildIndex() const {
 
 std::uint32_t FlowTable::findPos(const PacketHeader& header) const {
   if (indexDirty_) buildIndex();
+  // Epoch gate (consistent updates): a stamped header matches only rules of
+  // its own epoch or epoch-wildcard rules; an unstamped header (epoch 0)
+  // matches everything, preserving pre-epoch behaviour.
+  const auto epochOk = [&](const FlowEntry& e) {
+    const std::uint32_t re = cookieEpoch(e.cookie);
+    return header.epoch == 0 || re == 0 || re == header.epoch;
+  };
   std::uint32_t best = kNoPos;
   const auto bucket = index_.find(indexKey(header.inPort, header.dstAddr));
   if (bucket != index_.end()) {
     // Positions are ascending, i.e. in match-preference order: the first
     // full match in the bucket is the best indexed candidate.
     for (const std::uint32_t pos : bucket->second) {
-      if (entries_[pos].match.matches(header)) {
+      if (epochOk(entries_[pos]) && entries_[pos].match.matches(header)) {
         best = pos;
         break;
       }
@@ -108,7 +132,7 @@ std::uint32_t FlowTable::findPos(const PacketHeader& header) const {
   }
   for (const std::uint32_t pos : residual_) {
     if (pos >= best) break;  // ascending: cannot beat the indexed winner
-    if (entries_[pos].match.matches(header)) {
+    if (epochOk(entries_[pos]) && entries_[pos].match.matches(header)) {
       best = pos;
       break;
     }

@@ -16,6 +16,23 @@
 
 namespace sdt::openflow {
 
+/// Rule epochs (consistent updates, Reitblatt-style): the controller stamps
+/// every entry's cookie with the configuration epoch it belongs to, so a
+/// two-phase reconfiguration can hold epoch-N and epoch-N+1 rule sets side
+/// by side, bulk-delete one, and attribute every forwarding decision to
+/// exactly one configuration. Epoch 0 is the wildcard: a rule (or header)
+/// with epoch 0 matches any epoch — which is also what every pre-epoch
+/// cookie value decodes to, so legacy tables behave exactly as before.
+inline constexpr std::uint64_t makeCookie(std::uint32_t epoch, std::uint32_t tag) {
+  return static_cast<std::uint64_t>(epoch) << 32 | tag;
+}
+inline constexpr std::uint32_t cookieEpoch(std::uint64_t cookie) {
+  return static_cast<std::uint32_t>(cookie >> 32);
+}
+inline constexpr std::uint32_t cookieTag(std::uint64_t cookie) {
+  return static_cast<std::uint32_t>(cookie);
+}
+
 /// Header fields a switch matches on. Addresses are opaque 32-bit ids
 /// (the testbed assigns one "IP" per host); `inPort` is the physical
 /// ingress port on the switch doing the lookup.
@@ -27,6 +44,9 @@ struct PacketHeader {
   std::uint16_t dstPort = 0;
   std::uint8_t protocol = 0;
   std::uint8_t trafficClass = 0;  ///< DSCP-like priority class (0-7)
+  /// Configuration epoch the packet was stamped with at ingress (0 =
+  /// unstamped: matches rules of any epoch, the pre-epoch behaviour).
+  std::uint32_t epoch = 0;
 };
 
 /// Exact-or-wildcard match on each field (nullopt = wildcard).
@@ -116,6 +136,16 @@ class FlowTable {
 
   /// Remove all entries with the given cookie; returns how many.
   std::size_t removeByCookie(std::uint64_t cookie);
+
+  /// Bulk delete by configuration epoch (an OpenFlow delete with
+  /// cookie/cookie-mask selecting the epoch bits); returns how many.
+  /// The transactional controller uses this to garbage-collect a committed
+  /// transaction's old rules and to roll back an aborted one's new rules
+  /// with a single flow-mod per switch.
+  std::size_t removeByEpoch(std::uint32_t epoch);
+
+  /// Number of entries whose cookie carries `epoch` (purity audits).
+  [[nodiscard]] std::size_t countEpoch(std::uint32_t epoch) const;
 
   /// Remove the first entry identical to `entry` under sameRule() (an
   /// OpenFlow strict-delete flow-mod); returns whether one was found.

@@ -10,11 +10,20 @@ ForwardDecision Switch::process(const PacketHeader& header, std::int64_t bytes) 
   ++in.rxPackets;
   in.rxBytes += static_cast<std::uint64_t>(bytes);
 
+  // Ingress epoch stamping: a packet entering the network unstamped is
+  // pinned to this switch's current configuration epoch; stamped packets
+  // keep their stamp, so mid-path hops look up the epoch the packet
+  // started under (per-packet consistency, Reitblatt-style).
+  PacketHeader stamped = header;
+  if (stamped.epoch == 0) stamped.epoch = ingressEpoch_;
+
   ForwardDecision decision;
-  const FlowEntry* entry = table_.lookupAndCount(header, bytes);
+  decision.stampEpoch = stamped.epoch;
+  const FlowEntry* entry = table_.lookupAndCount(stamped, bytes);
   if (entry == nullptr) return decision;  // table miss -> drop
 
   decision.matched = true;
+  decision.ruleEpoch = cookieEpoch(entry->cookie);
   for (const Action& a : entry->actions) {
     switch (a.type) {
       case ActionType::kOutput:

@@ -30,6 +30,13 @@ struct ForwardDecision {
   int outPort = -1;
   int queue = 0;  ///< priority queue on the egress port
   int vc = -1;    ///< virtual channel override (-1 = keep packet's VC)
+  /// Epoch the lookup ran under: the header's stamp, or — for an unstamped
+  /// header — this switch's ingress epoch, which the data plane writes back
+  /// into the packet so the stamp persists across hops (two-phase updates).
+  std::uint32_t stampEpoch = 0;
+  /// cookieEpoch() of the matched entry (0 = wildcard rule or table miss);
+  /// the consistency checker attributes the hop to a configuration with it.
+  std::uint32_t ruleEpoch = 0;
 };
 
 class Switch {
@@ -47,7 +54,23 @@ class Switch {
   /// Run the match/action pipeline. Counts rx on the ingress port and,
   /// when forwarding, tx on the egress port. A table miss drops (SDT
   /// installs no table-miss flood: isolation depends on it, §VI-B).
+  /// Unstamped headers (epoch 0) are stamped with ingressEpoch() before the
+  /// lookup, pinning the packet to one configuration for its whole path.
   ForwardDecision process(const PacketHeader& header, std::int64_t bytes);
+
+  /// Configuration epoch stamped onto packets entering the network here
+  /// (0 = no stamping, the pre-epoch behaviour). Flipping this is the
+  /// atomic per-switch commit step of a two-phase update: rules of both
+  /// epochs are installed, and the stamp decides which set a packet uses.
+  [[nodiscard]] std::uint32_t ingressEpoch() const { return ingressEpoch_; }
+  void setIngressEpoch(std::uint32_t epoch) { ingressEpoch_ = epoch; }
+
+  /// OpenFlow barrier request: all preceding flow-mods are now processed
+  /// (trivially true on the model — table edits apply synchronously — but
+  /// the *ack* travels back over the unreliable control channel, which is
+  /// what the two-phase protocol synchronizes on). Returns the barrier id.
+  std::uint64_t barrier() { return ++barriersSeen_; }
+  [[nodiscard]] std::uint64_t barriersSeen() const { return barriersSeen_; }
 
   [[nodiscard]] const PortStats& portStats(int port) const { return portStats_[port]; }
   [[nodiscard]] const std::vector<PortStats>& allPortStats() const { return portStats_; }
@@ -57,6 +80,8 @@ class Switch {
   int id_;
   FlowTable table_;
   std::vector<PortStats> portStats_;
+  std::uint32_t ingressEpoch_ = 0;
+  std::uint64_t barriersSeen_ = 0;
 };
 
 }  // namespace sdt::openflow

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "sim/consistency.hpp"
+
 namespace sdt::sim {
 
 BuiltNetwork buildLogicalNetwork(Simulator& sim, const topo::Topology& topo,
@@ -71,7 +73,8 @@ BuiltNetwork buildProjectedNetwork(Simulator& sim, const topo::Topology& topo,
                                    std::vector<std::shared_ptr<openflow::Switch>>
                                        programmedSwitches,
                                    const NetworkConfig& config,
-                                   const CrossbarModel& crossbar) {
+                                   const CrossbarModel& crossbar,
+                                   EpochConsistencyChecker* checker) {
   assert(static_cast<int>(programmedSwitches.size()) == plant.numSwitches());
   BuiltNetwork built;
   built.net = std::make_unique<Network>(sim, config);
@@ -81,13 +84,17 @@ BuiltNetwork buildProjectedNetwork(Simulator& sim, const topo::Topology& topo,
   for (int psw = 0; psw < plant.numSwitches(); ++psw) {
     std::shared_ptr<openflow::Switch> ofs = built.ofSwitches[psw];
     assert(ofs != nullptr && ofs->numPorts() >= plant.switches[psw].numPorts);
-    Forwarder forwarder = [ofs](const Packet& pkt, int inPort) {
+    Forwarder forwarder = [ofs, checker, psw](const Packet& pkt, int inPort) {
       const openflow::ForwardDecision decision =
           ofs->process(pkt.header(inPort), pkt.wireBytes());
+      if (checker != nullptr) {
+        checker->onLookup(pkt.id, psw, decision.matched, decision.ruleEpoch);
+      }
       ForwardResult result;
       result.drop = decision.drop;
       result.outPort = decision.outPort;
       result.vc = decision.vc >= 0 ? decision.vc : pkt.vc;
+      result.epoch = decision.stampEpoch;
       return result;
     };
     const TimeNs extra = crossbar.extra(projection.subSwitchCountOn(psw));

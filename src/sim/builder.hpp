@@ -30,17 +30,22 @@ BuiltNetwork buildLogicalNetwork(Simulator& sim, const topo::Topology& topo,
                                  const routing::RoutingAlgorithm& routing,
                                  const NetworkConfig& config);
 
+class EpochConsistencyChecker;
+
 /// One sim switch per *physical* switch, executing `programmedSwitches`
 /// (index-aligned with plant.switches; tables already installed by the
 /// controller). Self-links and inter-switch links are wired exactly as the
 /// projection realized them; `crossbar` adds the sharing overhead per
 /// traversal based on how many sub-switches each crossbar hosts.
+/// `checker`, when given, observes every flow-table lookup and must outlive
+/// the network (per-packet consistency audits during live reconfiguration).
 BuiltNetwork buildProjectedNetwork(Simulator& sim, const topo::Topology& topo,
                                    const projection::Projection& projection,
                                    const projection::Plant& plant,
                                    std::vector<std::shared_ptr<openflow::Switch>>
                                        programmedSwitches,
                                    const NetworkConfig& config,
-                                   const CrossbarModel& crossbar);
+                                   const CrossbarModel& crossbar,
+                                   EpochConsistencyChecker* checker = nullptr);
 
 }  // namespace sdt::sim

@@ -325,6 +325,7 @@ void Network::arriveAtSwitch(int sw, int inPort, Packet packet) {
     return;
   }
   packet.vc = static_cast<std::uint8_t>(decision.vc);
+  if (decision.epoch != 0) packet.epoch = decision.epoch;
   packet.simIngressPort = inPort;
   const int outPort = decision.outPort;
   const Time latency = config_.switchLatency + dev.extraLatency;

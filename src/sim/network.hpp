@@ -68,6 +68,10 @@ struct ForwardResult {
   bool drop = true;
   int outPort = -1;
   int vc = 0;
+  /// Epoch the forwarding decision ran under (0 = switch does not stamp).
+  /// The network writes it back into the packet so the stamp made at the
+  /// first hop pins every later lookup to the same configuration.
+  std::uint32_t epoch = 0;
 };
 
 /// Forwarding decision function of one switch (routing- or table-driven).

@@ -33,6 +33,10 @@ struct Packet {
   std::uint64_t ackSeq = 0;    ///< cumulative ack (TCP)
   std::uint64_t messageId = 0; ///< RoCE message this segment belongs to
   TimeNs injectedAt = 0;
+  /// Configuration epoch stamped at the first switch (0 = not yet stamped).
+  /// Persists across hops so every lookup on the path runs under the same
+  /// epoch during a two-phase reconfiguration (per-packet consistency).
+  std::uint32_t epoch = 0;
   /// Sim-internal: ingress port the packet is charged to for PFC accounting
   /// while it waits in the current switch's egress queue (-1 = host-injected).
   int simIngressPort = -1;
@@ -51,6 +55,7 @@ struct Packet {
     h.dstPort = static_cast<std::uint16_t>((flowId >> 16) & 0xFFFF);
     h.protocol = static_cast<std::uint8_t>(kind);
     h.trafficClass = vc;
+    h.epoch = epoch;
     return h;
   }
 };

@@ -177,8 +177,9 @@ TEST(Controller, CheckFlagsInfeasibleTopology) {
 }
 
 TEST(Controller, ReconfigureNeverMovesCables) {
-  // Deploy A, then B on the same plant: pure table work, with a reconfig
-  // time covering teardown + install.
+  // Deploy A, then B on the same plant: pure table work. The reconfig cost
+  // is the incremental per-switch diff, which must be strictly cheaper than
+  // the teardown+reinstall it replaced (line and ring share most rules).
   const topo::Topology a = topo::makeLine(8);
   const topo::Topology b = topo::makeRing(8);
   routing::ShortestPathRouting ra(a);
@@ -188,8 +189,25 @@ TEST(Controller, ReconfigureNeverMovesCables) {
   ASSERT_TRUE(da.ok());
   auto db = ctl.reconfigure(da.value(), b, rb, {.requireDeadlockFree = false});
   ASSERT_TRUE(db.ok()) << db.error().message;
-  EXPECT_GT(db.value().reconfigTime, da.value().reconfigTime);
+  EXPECT_GT(db.value().reconfigFlowMods, 0);
+  EXPECT_LT(db.value().reconfigFlowMods,
+            da.value().totalFlowEntries + db.value().totalFlowEntries);
+  EXPECT_GT(db.value().reconfigTime, 0);
   EXPECT_LE(db.value().reconfigTime, secToNs(1.5));
+}
+
+TEST(Controller, ReconfigureToSameTopologyIsFree) {
+  // The diff of a deployment against an identical recompile is empty: zero
+  // flow-mods, only the fixed barrier round-trip cost of the update model.
+  const topo::Topology a = topo::makeLine(8);
+  routing::ShortestPathRouting ra(a);
+  SdtController ctl(plantOf(2, 8, 8));
+  auto da = ctl.deploy(a, ra);
+  ASSERT_TRUE(da.ok());
+  auto again = ctl.reconfigure(da.value(), a, ra);
+  ASSERT_TRUE(again.ok()) << again.error().message;
+  EXPECT_EQ(again.value().reconfigFlowMods, 0);
+  EXPECT_LE(again.value().reconfigTime, da.value().reconfigTime);
 }
 
 TEST(Controller, EntriesScaleIsSane) {

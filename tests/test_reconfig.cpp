@@ -1,0 +1,385 @@
+// Tests: transactional topology reconfiguration — two-phase consistent
+// updates with versioned rules over an unreliable control channel.
+//
+// The invariant under test everywhere: during a live reconfiguration every
+// packet is forwarded end-to-end by exactly one configuration epoch's rules
+// (sim::EpochConsistencyChecker), and a transaction either converges to a
+// pure new-epoch state or rolls back to a pure old-epoch state — never
+// anything in between.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "controller/controller.hpp"
+#include "controller/monitor.hpp"
+#include "controller/transaction.hpp"
+#include "routing/shortest_path.hpp"
+#include "sim/builder.hpp"
+#include "sim/consistency.hpp"
+#include "sim/control_channel.hpp"
+#include "sim/transport.hpp"
+#include "topo/generators.hpp"
+
+namespace sdt {
+namespace {
+
+std::uint64_t faultSeed() {
+  const char* env = std::getenv("SDT_FAULT_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 1ULL;
+}
+
+/// All-pairs table walk (same helper as test_recovery).
+bool walkDelivers(const controller::Deployment& dep, const topo::Topology& topo,
+                  topo::HostId src, topo::HostId dst) {
+  projection::PhysPort at = dep.projection.hostPortOf(src);
+  for (int hops = 0; hops < 32; ++hops) {
+    openflow::PacketHeader h;
+    h.inPort = at.port;
+    h.srcAddr = static_cast<std::uint32_t>(src);
+    h.dstAddr = static_cast<std::uint32_t>(dst);
+    const openflow::ForwardDecision decision = dep.switches[at.sw]->process(h, 100);
+    if (!decision.matched || decision.drop) return false;
+    const projection::PhysPort out{at.sw, decision.outPort};
+    if (out == dep.projection.hostPortOf(dst)) return true;
+    const auto logical = dep.projection.logicalAt(out);
+    if (!logical) return false;
+    const auto peer = topo.neighborOf(*logical);
+    if (!peer) return false;
+    at = dep.projection.physOf(*peer);
+  }
+  return false;  // forwarding loop
+}
+
+/// Every switch holds rules of exactly `epoch` and stamps it at ingress.
+void expectPureEpoch(const controller::Deployment& dep, std::uint32_t epoch) {
+  const std::uint32_t other = epoch == dep.epoch ? epoch + 1 : dep.epoch;
+  for (const auto& ofs : dep.switches) {
+    EXPECT_EQ(ofs->ingressEpoch(), epoch) << "switch " << ofs->id();
+    EXPECT_EQ(ofs->table().countEpoch(other), 0u) << "switch " << ofs->id();
+    EXPECT_EQ(ofs->table().countEpoch(epoch), ofs->table().size())
+        << "switch " << ofs->id();
+  }
+}
+
+/// Shared live-reconfiguration rig: line(6) deployed and carrying TCP
+/// traffic on a 2-switch plant that can also hold ring(6); both topologies
+/// attach host i to logical switch i, so host ports stay put and a live
+/// line -> ring update is plannable.
+class LiveReconfig : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    from_ = topo::makeLine(6);
+    to_ = topo::makeRing(6);
+    routingFrom_ = std::make_unique<routing::ShortestPathRouting>(from_);
+    routingTo_ = std::make_unique<routing::ShortestPathRouting>(to_);
+    auto plantR = projection::planPlant({&from_, &to_}, {.numSwitches = 2});
+    ASSERT_TRUE(plantR.ok());
+    plant_ = std::move(plantR).value();
+    ctl_ = std::make_unique<controller::SdtController>(plant_);
+    auto depR = ctl_->deploy(from_, *routingFrom_);
+    ASSERT_TRUE(depR.ok()) << depR.error().message;
+    dep_ = std::move(depR).value();
+    built_ = sim::buildProjectedNetwork(sim_, from_, dep_.projection, plant_,
+                                        dep_.switches, {}, {2.0, 1.0}, &checker_);
+    tm_ = std::make_unique<sim::TransportManager>(sim_, *built_.net,
+                                                  sim::TransportConfig{});
+  }
+
+  [[nodiscard]] controller::UpdatePlan plan() {
+    controller::DeployOptions opt;
+    opt.requireDeadlockFree = false;  // ring + shortest path: cyclic CDG
+    auto planR = ctl_->planUpdate(dep_, to_, *routingTo_, opt);
+    EXPECT_TRUE(planR.ok()) << planR.error().message;
+    return std::move(planR).value();
+  }
+
+  void startTraffic(int bytesPerFlow = 256 * 1024) {
+    const int hosts = from_.numHosts();
+    for (int h = 0; h < hosts; ++h) {
+      tm_->startTcpFlow(h, (h + hosts / 2) % hosts, bytesPerFlow,
+                        [this](sim::Time) { ++flowsCompleted_; });
+    }
+  }
+
+  topo::Topology from_, to_;
+  std::unique_ptr<routing::ShortestPathRouting> routingFrom_, routingTo_;
+  projection::Plant plant_;
+  std::unique_ptr<controller::SdtController> ctl_;
+  controller::Deployment dep_;
+  sim::Simulator sim_;
+  sim::EpochConsistencyChecker checker_;
+  sim::BuiltNetwork built_;
+  std::unique_ptr<sim::TransportManager> tm_;
+  int flowsCompleted_ = 0;
+};
+
+TEST_F(LiveReconfig, CommitsUnderReliableChannelWithZeroViolations) {
+  const int oldTotal = dep_.totalFlowEntries;
+  controller::UpdatePlan plan = this->plan();
+  EXPECT_EQ(plan.fromEpoch, 1u);
+  EXPECT_EQ(plan.toEpoch, 2u);
+  const int planned = plan.totalEntries;
+
+  sim::ControlChannel channel(sim_, faultSeed());
+  controller::ReconfigTransaction tx(sim_, channel, dep_, std::move(plan));
+  startTraffic();
+  sim_.schedule(usToNs(100.0), [&]() { tx.start(); });
+  sim_.runUntil(msToNs(40.0));
+
+  ASSERT_TRUE(tx.finished());
+  const controller::ReconfigReport& r = tx.report();
+  EXPECT_TRUE(r.committed);
+  EXPECT_FALSE(r.rolledBack);
+  EXPECT_EQ(r.phaseReached, controller::ReconfigPhase::kDone);
+  EXPECT_TRUE(r.pureStateVerified);
+  EXPECT_FALSE(r.gcIncomplete);
+  EXPECT_TRUE(r.failure.empty());
+  EXPECT_EQ(r.flowModsInstalled, planned);
+  EXPECT_EQ(r.flowModsGarbageCollected, oldTotal);
+  EXPECT_EQ(r.flowModsRolledBack, 0);
+  EXPECT_EQ(r.barrierRoundTrips, plant_.numSwitches());
+  EXPECT_EQ(r.retriesTotal, 0);  // perfect channel: no resends
+  EXPECT_GT(r.updateWindow(), 0);
+  EXPECT_GT(r.finishedAt, r.updateWindowEnd);
+  for (const controller::SwitchTxState& s : r.switches) {
+    EXPECT_TRUE(s.installAcked && s.barrierAcked && s.flipAcked && s.gcAcked);
+    EXPECT_FALSE(s.rollbackAcked);
+  }
+
+  // The deployment is now the ring, epoch 2, pure.
+  EXPECT_EQ(dep_.epoch, 2u);
+  EXPECT_EQ(dep_.totalFlowEntries, planned);
+  expectPureEpoch(dep_, 2);
+  for (topo::HostId src = 0; src < to_.numHosts(); ++src) {
+    for (topo::HostId dst = 0; dst < to_.numHosts(); ++dst) {
+      if (src != dst) {
+        EXPECT_TRUE(walkDelivers(dep_, to_, src, dst)) << src << "->" << dst;
+      }
+    }
+  }
+
+  // Per-packet consistency held throughout, and the checker really saw
+  // epoch-stamped traffic spanning the update.
+  EXPECT_TRUE(checker_.violations().empty())
+      << checker_.violations().front().describe();
+  EXPECT_GT(checker_.stampedPackets(), 0u);
+  EXPECT_EQ(flowsCompleted_, from_.numHosts());
+}
+
+TEST_F(LiveReconfig, RollsBackToPureOldEpochWhenSwitchUnreachable) {
+  controller::UpdatePlan plan = this->plan();
+
+  // Switch 0's management link is dead across the whole install-retry
+  // budget, then comes back: the transaction must abort and roll back —
+  // including the delayed rollback delete to switch 0 once it reconnects.
+  sim::ControlChannel channel(sim_, faultSeed());
+  channel.disconnect(0, 0, msToNs(2.0));
+  controller::ReconfigTransaction tx(sim_, channel, dep_, std::move(plan));
+  startTraffic();
+  sim_.schedule(usToNs(100.0), [&]() { tx.start(); });
+  sim_.runUntil(msToNs(40.0));
+
+  ASSERT_TRUE(tx.finished());
+  const controller::ReconfigReport& r = tx.report();
+  EXPECT_FALSE(r.committed);
+  EXPECT_TRUE(r.rolledBack);
+  EXPECT_EQ(r.phaseReached, controller::ReconfigPhase::kInstall);
+  EXPECT_TRUE(r.pureStateVerified);
+  EXPECT_FALSE(r.failure.empty());
+  EXPECT_GT(r.retriesTotal, 0);
+  EXPECT_GT(r.rollbackLatency, 0);
+  EXPECT_EQ(r.flowModsInstalled, r.flowModsRolledBack);  // every add undone
+
+  // The deployment still runs the line at epoch 1, pure, fully forwarding.
+  EXPECT_EQ(dep_.epoch, 1u);
+  expectPureEpoch(dep_, 1);
+  for (topo::HostId src = 0; src < from_.numHosts(); ++src) {
+    for (topo::HostId dst = 0; dst < from_.numHosts(); ++dst) {
+      if (src != dst) {
+        EXPECT_TRUE(walkDelivers(dep_, from_, src, dst)) << src << "->" << dst;
+      }
+    }
+  }
+  EXPECT_TRUE(checker_.violations().empty())
+      << checker_.violations().front().describe();
+  EXPECT_EQ(flowsCompleted_, from_.numHosts());
+}
+
+TEST_F(LiveReconfig, MonitorGuardSuppressesSpuriousFailuresDuringTransaction) {
+  controller::UpdatePlan plan = this->plan();
+
+  controller::NetworkMonitor monitor(sim_, *built_.net, from_, dep_.projection);
+  monitor.enableFailureDetection(usToNs(60.0));
+  monitor.start(usToNs(5.0));
+
+  sim::ControlChannel channel(sim_, faultSeed());
+  controller::ReconfigOptions opt;
+  opt.monitor = &monitor;
+  controller::ReconfigTransaction tx(sim_, channel, dep_, std::move(plan), opt);
+  startTraffic();
+  sim_.schedule(usToNs(100.0), [&]() {
+    tx.start();
+    EXPECT_TRUE(monitor.guarded(0));
+    EXPECT_TRUE(monitor.guarded(1));
+  });
+  sim_.runUntil(msToNs(40.0));
+
+  ASSERT_TRUE(tx.finished());
+  EXPECT_TRUE(tx.report().committed);
+  // Guards lifted at finish; no spurious PortFailure fired even though the
+  // topology swap idled previously-busy ports mid-stream.
+  EXPECT_FALSE(monitor.guarded(0));
+  EXPECT_FALSE(monitor.guarded(1));
+  EXPECT_TRUE(monitor.portFailures().empty());
+}
+
+TEST(Reconfig, PlanUpdateAbortsCleanlyWhenBothVersionsExceedCapacity) {
+  // Size the flow tables so one configuration fits but two do not: the
+  // prepare phase must refuse before anything is installed.
+  const topo::Topology line = topo::makeLine(6);
+  const topo::Topology ring = topo::makeRing(6);
+  routing::ShortestPathRouting rLine(line);
+  routing::ShortestPathRouting rRing(ring);
+  auto plantR = projection::planPlant({&line, &ring}, {.numSwitches = 2});
+  ASSERT_TRUE(plantR.ok());
+  projection::Plant plant = std::move(plantR).value();
+  {
+    controller::SdtController probe(plant);
+    auto dep = probe.deploy(line, rLine);
+    ASSERT_TRUE(dep.ok());
+    for (auto& spec : plant.switches) {
+      spec.flowTableCapacity =
+          static_cast<std::size_t>(dep.value().maxEntriesPerSwitch) + 8;
+    }
+  }
+  controller::SdtController ctl(plant);
+  auto depR = ctl.deploy(line, rLine);
+  ASSERT_TRUE(depR.ok()) << depR.error().message;
+  controller::Deployment dep = std::move(depR).value();
+
+  controller::DeployOptions opt;
+  opt.requireDeadlockFree = false;
+  auto planR = ctl.planUpdate(dep, ring, rRing, opt);
+  ASSERT_FALSE(planR.ok());
+  EXPECT_NE(planR.error().message.find("two-phase update"), std::string::npos);
+  // Nothing touched: still epoch 1, still the full line table.
+  EXPECT_EQ(dep.epoch, 1u);
+  expectPureEpoch(dep, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz: 200+ random control-channel schedules through a live reconfiguration.
+// Every run must (a) terminate, (b) end committed-and-pure or
+// rolled-back-and-pure, and (c) never mix epochs on any packet's path.
+// ---------------------------------------------------------------------------
+
+struct FuzzOutcome {
+  bool finished = false;
+  bool committed = false;
+  bool rolledBack = false;
+  bool pure = false;
+  std::size_t violations = 0;
+  std::size_t stamped = 0;
+};
+
+FuzzOutcome runFuzzSchedule(std::uint64_t seed) {
+  Rng rng(seed);
+  const topo::Topology from = topo::makeLine(6);
+  const topo::Topology to = topo::makeRing(6);
+  routing::ShortestPathRouting rFrom(from);
+  routing::ShortestPathRouting rTo(to);
+  auto plantR = projection::planPlant({&from, &to}, {.numSwitches = 2});
+  if (!plantR.ok()) return {};
+  const projection::Plant plant = std::move(plantR).value();
+  controller::SdtController ctl(plant);
+  auto depR = ctl.deploy(from, rFrom);
+  if (!depR.ok()) return {};
+  controller::Deployment dep = std::move(depR).value();
+
+  sim::Simulator sim;
+  sim::EpochConsistencyChecker checker;
+  sim::BuiltNetwork built = sim::buildProjectedNetwork(
+      sim, from, dep.projection, plant, dep.switches, {}, {2.0, 1.0}, &checker);
+  sim::TransportManager tm(sim, *built.net, {});
+
+  // Random impairment mix, drawn deterministically from the fuzz seed.
+  sim::ControlChannelConfig cfg;
+  cfg.dropProb = rng.uniform() * 0.4;
+  cfg.dupProb = rng.uniform() * 0.3;
+  cfg.reorderProb = rng.uniform() * 0.3;
+  cfg.jitter = static_cast<TimeNs>(rng.between(500, 4'000));
+  cfg.reorderDelay = static_cast<TimeNs>(rng.between(5'000, 30'000));
+  sim::ControlChannel channel(sim, seed, cfg);
+  // Half the schedules also sever one switch's management link for a
+  // window that may or may not outlast the bounded retry budget.
+  if (rng.uniform() < 0.5) {
+    const int sw = static_cast<int>(rng.below(static_cast<std::uint64_t>(
+        plant.numSwitches())));
+    const TimeNs fromT = static_cast<TimeNs>(rng.between(0, 500'000));
+    const TimeNs len = static_cast<TimeNs>(rng.between(50'000, 3'000'000));
+    channel.disconnect(sw, fromT, fromT + len);
+  }
+
+  controller::DeployOptions dopt;
+  dopt.requireDeadlockFree = false;
+  auto planR = ctl.planUpdate(dep, to, rTo, dopt);
+  if (!planR.ok()) return {};
+
+  controller::ReconfigTransaction tx(sim, channel, dep, std::move(planR).value());
+  const int hosts = from.numHosts();
+  for (int h = 0; h < hosts; ++h) {
+    tm.startTcpFlow(h, (h + hosts / 2) % hosts, 96 * 1024, nullptr);
+  }
+  sim.schedule(usToNs(100.0), [&]() { tx.start(); });
+  sim.runUntil(msToNs(80.0));
+
+  FuzzOutcome out;
+  out.finished = tx.finished();
+  if (!out.finished) return out;
+  const controller::ReconfigReport& r = tx.report();
+  out.committed = r.committed;
+  out.rolledBack = r.rolledBack;
+  out.pure = r.pureStateVerified;
+  out.violations = checker.violations().size();
+  out.stamped = checker.stampedPackets();
+  // Cross-check the report's purity claim against the tables directly.
+  const std::uint32_t keep = r.committed ? r.toEpoch : r.fromEpoch;
+  const std::uint32_t gone = r.committed ? r.fromEpoch : r.toEpoch;
+  for (const auto& ofs : dep.switches) {
+    if (ofs->table().countEpoch(gone) != 0 || ofs->ingressEpoch() != keep) {
+      out.pure = false;
+    }
+  }
+  return out;
+}
+
+TEST(ReconfigFuzz, TwoHundredSchedulesConvergeOrRollBackPure) {
+  const std::uint64_t base = faultSeed() * 100'000ULL;
+  int committed = 0;
+  int rolledBack = 0;
+  std::size_t stampedTotal = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const std::uint64_t seed = base + i;
+    const FuzzOutcome out = runFuzzSchedule(seed);
+    ASSERT_TRUE(out.finished) << "seed " << seed << " did not converge";
+    ASSERT_TRUE(out.committed != out.rolledBack)
+        << "seed " << seed << " ended neither committed nor rolled back";
+    EXPECT_TRUE(out.pure) << "seed " << seed << " left mixed-epoch state";
+    EXPECT_EQ(out.violations, 0u) << "seed " << seed << " mixed epochs on a path";
+    committed += out.committed;
+    rolledBack += out.rolledBack;
+    stampedTotal += out.stamped;
+  }
+  // The schedule space must actually exercise both outcomes and real
+  // epoch-stamped traffic, or the suite is vacuous.
+  EXPECT_GT(committed, 0);
+  EXPECT_GT(rolledBack, 0);
+  EXPECT_GT(stampedTotal, 0u);
+}
+
+}  // namespace
+}  // namespace sdt
