@@ -9,18 +9,36 @@
 //                                             (pingpong | alltoall | hpcg |
 //                                              hpl | minighost | minife)
 //   sdtctl feas     <config.json>             Table II feasibility per method
+//   sdtctl recover  <from.json> <to.json>     crash-recovery demo: deploy the
+//                                             first topology, start a live
+//                                             update to the second, kill the
+//                                             controller mid-flight
+//                                             (--crash-at), optionally reboot
+//                                             a switch, then recover from the
+//                                             journal
+//   sdtctl status                             replay a journal (--journal)
+//                                             and print the durable intent
 //
 // Common flags: --switches N (default 2), --spec 64|128|h3c (default 128),
 //               --flex P (add P optical flex pairs per switch, §VII-A)
+// Recovery flags: --journal FILE (default in-memory), --json,
+//                 --crash-at prepare|mid-install|pre-flip|post-flip|mid-gc,
+//                 --reboot-switch N
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/strings.hpp"
 #include "controller/config.hpp"
 #include "controller/controller.hpp"
+#include "controller/journal.hpp"
+#include "controller/recovery.hpp"
+#include "controller/transaction.hpp"
 #include "projection/feasibility.hpp"
+#include "sim/control_channel.hpp"
 #include "testbed/evaluator.hpp"
 #include "workloads/apps.hpp"
 
@@ -33,13 +51,20 @@ struct CliOptions {
   projection::PhysicalSwitchSpec spec = projection::openflow128x100G();
   int flexPairs = 0;
   std::vector<std::string> configs;
+  std::string journalPath;  ///< empty: in-memory journal (recover demo only)
+  controller::CrashPoint crashAt = controller::CrashPoint::kPreFlip;
+  int rebootSwitch = -1;
+  bool jsonOut = false;
 };
 
 int usage() {
   std::fprintf(stderr,
-               "usage: sdtctl <topo|check|deploy|run|feas> <config.json>... \n"
+               "usage: sdtctl <topo|check|deploy|run|feas|recover|status> "
+               "<config.json>... \n"
                "       [--switches N] [--spec 64|128|h3c] [--flex P] "
-               "[workload name for 'run']\n");
+               "[workload name for 'run']\n"
+               "       [--journal FILE] [--json] [--reboot-switch N]\n"
+               "       [--crash-at prepare|mid-install|pre-flip|post-flip|mid-gc]\n");
   return 2;
 }
 
@@ -49,6 +74,25 @@ Result<CliOptions> parseArgs(int argc, char** argv, std::string& workload) {
     const std::string arg = argv[i];
     if (arg == "--switches" && i + 1 < argc) {
       opt.switches = std::atoi(argv[++i]);
+    } else if (arg == "--journal" && i + 1 < argc) {
+      opt.journalPath = argv[++i];
+    } else if (arg == "--json") {
+      opt.jsonOut = true;
+    } else if (arg == "--reboot-switch" && i + 1 < argc) {
+      opt.rebootSwitch = std::atoi(argv[++i]);
+    } else if (arg == "--crash-at" && i + 1 < argc) {
+      const std::string point = argv[++i];
+      bool known = false;
+      for (const controller::CrashPoint p :
+           {controller::CrashPoint::kNone, controller::CrashPoint::kPrepare,
+            controller::CrashPoint::kMidInstall, controller::CrashPoint::kPreFlip,
+            controller::CrashPoint::kPostFlip, controller::CrashPoint::kMidGc}) {
+        if (point == controller::crashPointName(p)) {
+          opt.crashAt = p;
+          known = true;
+        }
+      }
+      if (!known) return makeError("unknown --crash-at: " + point);
     } else if (arg == "--spec" && i + 1 < argc) {
       const std::string spec = argv[++i];
       if (spec == "64") opt.spec = projection::openflow64x100G();
@@ -65,7 +109,8 @@ Result<CliOptions> parseArgs(int argc, char** argv, std::string& workload) {
       return makeError("unknown flag: " + arg);
     }
   }
-  if (opt.configs.empty()) return makeError("no config file given");
+  // `status` works from the journal alone; every other command needs configs
+  // (main enforces the count per command).
   return opt;
 }
 
@@ -227,10 +272,201 @@ int cmdFeas(const controller::ExperimentConfig& config, const CliOptions& opt) {
   return 0;
 }
 
+int cmdStatus(const CliOptions& opt) {
+  if (opt.journalPath.empty()) {
+    std::fprintf(stderr, "status needs --journal FILE\n");
+    return 2;
+  }
+  controller::FileJournalStorage storage(opt.journalPath);
+  const controller::Journal journal(storage);
+  auto replayed = journal.replay();
+  if (!replayed) {
+    std::fprintf(stderr, "journal: %s\n", replayed.error().message.c_str());
+    return 1;
+  }
+  const controller::JournalReplay& rep = replayed.value();
+  if (opt.jsonOut) {
+    json::Object out;
+    json::Array records;
+    for (const controller::JournalRecord& r : rep.records) {
+      records.push_back(r.toJson());
+    }
+    out["records"] = std::move(records);
+    out["state"] = rep.state.toJson();
+    out["droppedBytes"] = static_cast<std::int64_t>(rep.droppedBytes);
+    std::printf("%s\n", json::Value(std::move(out)).dump(2).c_str());
+    return 0;
+  }
+  std::printf("journal: %s (%zu records", opt.journalPath.c_str(), rep.records.size());
+  if (rep.droppedBytes > 0) {
+    std::printf(", %zu torn/corrupt tail bytes dropped", rep.droppedBytes);
+  }
+  std::printf(")\n");
+  for (const controller::JournalRecord& r : rep.records) {
+    std::printf("  #%llu %-10s at=%s epoch=%u", static_cast<unsigned long long>(r.seq),
+                controller::journalRecordKindName(r.kind), humanTime(r.at).c_str(),
+                r.epoch);
+    if (r.fromEpoch != 0 || r.toEpoch != 0) {
+      std::printf(" tx=%u->%u", r.fromEpoch, r.toEpoch);
+    }
+    if (!r.topology.empty()) {
+      std::printf(" '%s'/%s", r.topology.c_str(), r.routing.c_str());
+    }
+    std::printf("\n");
+  }
+  if (!rep.state.valid) {
+    std::printf("state: no deployable intent\n");
+  } else {
+    std::printf("state: '%s'/%s at epoch %u\n", rep.state.topology.c_str(),
+                rep.state.routing.c_str(), rep.state.epoch);
+  }
+  if (rep.state.txOpen) {
+    std::printf("open transaction: %u->%u to '%s' (%s -> recovery rolls %s)\n",
+                rep.state.txFromEpoch, rep.state.txToEpoch,
+                rep.state.txTopology.c_str(),
+                rep.state.txFlipped ? "flipped" : "not flipped",
+                rep.state.txFlipped ? "forward" : "back");
+  }
+  return 0;
+}
+
+int cmdRecover(const std::vector<controller::ExperimentConfig>& configs,
+               const CliOptions& opt) {
+  if (configs.size() != 2) {
+    std::fprintf(stderr, "recover needs exactly two configs: <from.json> <to.json>\n");
+    return 2;
+  }
+  const controller::ExperimentConfig& from = configs[0];
+  const controller::ExperimentConfig& to = configs[1];
+  auto plant = makePlant(configs, opt);
+  if (!plant) {
+    std::fprintf(stderr, "plant: %s\n", plant.error().message.c_str());
+    return 1;
+  }
+  auto routingA = routing::makeRouting(from.routingStrategy, from.topology);
+  auto routingB = routing::makeRouting(to.routingStrategy, to.topology);
+  if (!routingA || !routingB) {
+    std::fprintf(stderr, "routing: %s\n",
+                 (!routingA ? routingA.error() : routingB.error()).message.c_str());
+    return 1;
+  }
+
+  // Fresh journal for a self-contained demo (a stale file would carry
+  // another run's intent into this one).
+  controller::MemoryJournalStorage memStorage;
+  std::unique_ptr<controller::FileJournalStorage> fileStorage;
+  controller::JournalStorage* storage = &memStorage;
+  if (!opt.journalPath.empty()) {
+    std::remove(opt.journalPath.c_str());
+    fileStorage = std::make_unique<controller::FileJournalStorage>(opt.journalPath);
+    storage = fileStorage.get();
+  }
+  controller::Journal journal(*storage);
+
+  controller::SdtController ctl(plant.value());
+  controller::DeployOptions dopt;
+  dopt.requireDeadlockFree = from.pfc && to.pfc;
+  auto dep = ctl.deploy(from.topology, *routingA.value(), dopt);
+  if (!dep) {
+    std::fprintf(stderr, "deploy: %s\n", dep.error().message.c_str());
+    return 1;
+  }
+  controller::Deployment deployment = std::move(dep).value();
+  if (auto s = controller::journalDeploy(journal, deployment, 0); !s) {
+    std::fprintf(stderr, "journal: %s\n", s.error().message.c_str());
+    return 1;
+  }
+
+  auto plan = ctl.planUpdate(deployment, to.topology, *routingB.value(), dopt);
+  if (!plan) {
+    std::fprintf(stderr, "planUpdate: %s\n", plan.error().message.c_str());
+    return 1;
+  }
+
+  std::uint64_t seed = 1;
+  if (const char* env = std::getenv("SDT_FAULT_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  sim::Simulator sim;
+  sim::ControlChannelConfig ccfg;
+  ccfg.dropProb = 0.05;
+  ccfg.dupProb = 0.05;
+  ccfg.reorderProb = 0.05;
+  sim::ControlChannel channel(sim, seed, ccfg);
+
+  controller::ReconfigOptions topt;
+  topt.journal = &journal;
+  topt.crashAt = opt.crashAt;
+  controller::ReconfigTransaction tx(sim, channel, deployment, std::move(plan).value(),
+                                     topt);
+  tx.start();
+  sim.runUntil(msToNs(500.0));
+  if (tx.crashed()) {
+    std::printf("transaction: crashed at %s (phase reached: %s)\n",
+                controller::crashPointName(opt.crashAt),
+                controller::reconfigPhaseName(tx.report().phaseReached));
+  } else {
+    std::printf("transaction: completed without crashing (recovery becomes a "
+                "no-drift audit)\n");
+  }
+
+  if (opt.rebootSwitch >= 0 &&
+      opt.rebootSwitch < static_cast<int>(deployment.switches.size())) {
+    deployment.switches[static_cast<std::size_t>(opt.rebootSwitch)]->reboot();
+    std::printf("switch %d power-cycled while the controller was down\n",
+                opt.rebootSwitch);
+  }
+
+  // --- The old controller process is gone. A new one starts from the
+  // journal and the plant alone. ---
+  controller::IntentCatalog catalog;
+  catalog[from.topology.name()] = {&from.topology, routingA.value().get()};
+  catalog[to.topology.name()] = {&to.topology, routingB.value().get()};
+  auto rplan = controller::planRecovery(ctl, journal, catalog, dopt);
+  if (!rplan) {
+    std::fprintf(stderr, "planRecovery: %s\n", rplan.error().message.c_str());
+    return 1;
+  }
+  controller::RecoveryOptions ropt;
+  ropt.journal = &journal;
+  ropt.retry.seed = seed;
+  controller::RecoveryRun recovery(sim, channel, deployment.switches,
+                                   std::move(rplan).value(), ropt);
+  recovery.start();
+  sim.runUntil(sim.now() + msToNs(500.0));
+  const controller::RecoveryReport& rr = recovery.report();
+
+  if (opt.jsonOut) {
+    json::Object out;
+    out["transaction"] = tx.report().toJson();
+    out["recovery"] = rr.toJson();
+    auto replayed = journal.replay();
+    if (replayed) out["journal"] = replayed.value().state.toJson();
+    std::printf("%s\n", json::Value(std::move(out)).dump(2).c_str());
+    return rr.converged ? 0 : 1;
+  }
+  std::printf("recovery: %s (%s to epoch %u, intent '%s')\n",
+              rr.converged ? "CONVERGED" : "FAILED",
+              controller::recoveryDecisionName(rr.decision), rr.targetEpoch,
+              rr.topology.c_str());
+  std::printf("  drift: %d switches (%d rebooted), %d missing / %d extra / "
+              "%d restamped rules\n",
+              rr.switchesDrifted, rr.switchesRebooted, rr.rulesMissing,
+              rr.rulesExtra, rr.rulesRestamped);
+  std::printf("  flow-mods: %d (full redeploy would cost %d), %d stats rounds, "
+              "%d retries\n",
+              rr.flowMods, rr.fullRedeployFlowMods, rr.statsRounds, rr.retriesTotal);
+  std::printf("  convergence time: %s, pure state verified: %s\n",
+              humanTime(rr.convergenceTime()).c_str(),
+              rr.pureStateVerified ? "yes" : "no");
+  if (!rr.failure.empty()) std::printf("  failure: %s\n", rr.failure.c_str());
+  return rr.converged ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
+  if (argc < 2) return usage();
   const std::string command = argv[1];
   std::string workloadName;
   auto opt = parseArgs(argc, argv, workloadName);
@@ -247,10 +483,16 @@ int main(int argc, char** argv) {
     }
     configs.push_back(std::move(c).value());
   }
+  if (command == "status") return cmdStatus(opt.value());
+  if (configs.empty()) {
+    std::fprintf(stderr, "no config file given\n");
+    return usage();
+  }
   if (command == "topo") return cmdTopo(configs[0]);
   if (command == "check") return cmdCheck(configs, opt.value());
   if (command == "deploy") return cmdDeploy(configs[0], opt.value());
   if (command == "run") return cmdRun(configs[0], opt.value(), workloadName);
   if (command == "feas") return cmdFeas(configs[0], opt.value());
+  if (command == "recover") return cmdRecover(configs, opt.value());
   return usage();
 }

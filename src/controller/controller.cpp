@@ -6,28 +6,21 @@
 #include <set>
 
 #include "common/strings.hpp"
+#include "controller/table_diff.hpp"
 #include "partition/partitioner.hpp"
 #include "routing/degraded.hpp"
 
 namespace sdt::controller {
 
-namespace {
+// Shared with crash recovery via controller/table_diff.hpp; doc comments
+// live on the declarations there.
+namespace detail {
 
-/// Compile the routing strategy for one deployment into flow entries.
-/// Returns the per-physical-switch entry lists, or an error when the
-/// strategy fails on some (switch, destination, vc) state.
-///
-/// `severedMask` (repair path) marks logical links lost to failures: they
-/// are excluded from the reachability computation, so pairs they disconnect
-/// get no entries (table miss) instead of failing the compile.
-/// `epoch` is stamped into every entry's cookie (consistent updates): rules
-/// carry the configuration epoch they belong to, so packets stamped at
-/// ingress only match their own configuration during a two-phase update.
 Result<std::vector<std::vector<openflow::FlowEntry>>> compileFlowTables(
     const topo::Topology& topo, const projection::Projection& projection,
     const projection::Plant& plant, const routing::RoutingAlgorithm& routing,
     const DeployOptions& options, std::uint32_t epoch,
-    const std::vector<char>* severedMask = nullptr) {
+    const std::vector<char>* severedMask) {
   std::vector<std::vector<openflow::FlowEntry>> tables(
       static_cast<std::size_t>(plant.numSwitches()));
   const int vcs = routing.numVcs();
@@ -138,11 +131,6 @@ Result<std::vector<std::vector<openflow::FlowEntry>>> compileFlowTables(
   return tables;
 }
 
-/// Serialized rule identity for the incremental diffs' multiset keys.
-/// Counters are excluded (like openflow::sameRule) and so is the cookie's
-/// *epoch* half: a rule that survives a reconfiguration unchanged except for
-/// its epoch stamp is the same rule — charging a delete+add for it would
-/// make every diff as expensive as a full redeploy.
 std::string ruleKey(const openflow::FlowEntry& e) {
   std::string key = strFormat("p%d c%u m", e.priority, openflow::cookieTag(e.cookie));
   key += e.match.describe();
@@ -152,20 +140,12 @@ std::string ruleKey(const openflow::FlowEntry& e) {
   return key;
 }
 
-/// Per-switch multiset diff of a live table against the desired entry list:
-/// what an incremental update must strict-delete and add. Shared by
-/// repair() and the diff-based reconfigure().
-struct TableDiff {
-  std::vector<openflow::FlowEntry> toRemove;        ///< copies of live entries
-  std::vector<const openflow::FlowEntry*> toAdd;    ///< pointers into desired
-};
-
-TableDiff diffTable(const openflow::FlowTable& live,
-                    const std::vector<openflow::FlowEntry>& desired) {
+TableDiff diffEntries(const std::vector<openflow::FlowEntry>& live,
+                      const std::vector<openflow::FlowEntry>& desired) {
   TableDiff diff;
   std::map<std::string, int> want;
   for (const openflow::FlowEntry& e : desired) ++want[ruleKey(e)];
-  for (const openflow::FlowEntry& e : live.entries()) {
+  for (const openflow::FlowEntry& e : live) {
     const auto it = want.find(ruleKey(e));
     if (it == want.end() || it->second == 0) {
       diff.toRemove.push_back(e);
@@ -174,7 +154,7 @@ TableDiff diffTable(const openflow::FlowTable& live,
     }
   }
   std::map<std::string, int> have;
-  for (const openflow::FlowEntry& e : live.entries()) ++have[ruleKey(e)];
+  for (const openflow::FlowEntry& e : live) ++have[ruleKey(e)];
   for (const openflow::FlowEntry& e : desired) {
     const auto it = have.find(ruleKey(e));
     if (it != have.end() && it->second > 0) {
@@ -186,7 +166,11 @@ TableDiff diffTable(const openflow::FlowTable& live,
   return diff;
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::TableDiff;
+using detail::compileFlowTables;
+using detail::diffEntries;
 
 CheckReport SdtController::check(const std::vector<const topo::Topology*>& topologies,
                                  const DeployOptions& options) const {
@@ -396,6 +380,9 @@ Result<Deployment> SdtController::deploy(const topo::Topology& topo,
   }
   deployment.reconfigTime =
       projection::reconfigTime(projection::TpMethod::kSDT, deployment.totalFlowEntries);
+  deployment.topology = topo.name();
+  deployment.routing = routing.name();
+  deployment.ecmpSalt = options.ecmpSalt;
   return deployment;
 }
 
@@ -411,8 +398,9 @@ Result<Deployment> SdtController::reconfigure(const Deployment& previous,
   // II), so shrinking the mod count is exactly what shrinks the downtime.
   int mods = 0;
   for (int psw = 0; psw < plant_.numSwitches(); ++psw) {
-    const TableDiff diff = diffTable(previous.switches[psw]->table(),
-                                     deployment.value().switches[psw]->table().entries());
+    const TableDiff diff =
+        diffEntries(previous.switches[psw]->table().entries(),
+                    deployment.value().switches[psw]->table().entries());
     mods += static_cast<int>(diff.toRemove.size() + diff.toAdd.size());
   }
   deployment.value().reconfigFlowMods = mods;
@@ -479,6 +467,9 @@ Result<UpdatePlan> SdtController::planUpdate(const Deployment& current,
   }
   plan.projection = std::move(proj).value();
   plan.tables = std::move(tables).value();
+  plan.topology = next.name();
+  plan.routing = routing.name();
+  plan.ecmpSalt = options.ecmpSalt;
   return plan;
 }
 
@@ -596,7 +587,7 @@ Result<RepairReport> SdtController::repair(Deployment& deployment,
     const std::vector<openflow::FlowEntry>& desired = tables.value()[psw];
     newTotal += static_cast<int>(desired.size());
 
-    const TableDiff diff = diffTable(live, desired);
+    const TableDiff diff = diffEntries(live.entries(), desired);
 
     const auto install = [&](const char* what) -> Status<Error> {
       const auto attempt = [&](int n) {

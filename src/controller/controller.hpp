@@ -60,6 +60,13 @@ struct Deployment {
   /// strictly fewer than the previous.total + next.total a full
   /// teardown+redeploy would send whenever the tables overlap.
   int reconfigFlowMods = 0;
+  /// Intent identity, journaled for crash recovery: the names are the keys a
+  /// restarted controller uses to look up the topology and routing objects
+  /// (recovery::IntentCatalog) and recompile exactly these tables, so the
+  /// salt rides along too.
+  std::string topology;
+  std::string routing;
+  std::uint64_t ecmpSalt = 0;
 };
 
 /// check() output: what the plant must provide for a set of topologies.
@@ -108,6 +115,10 @@ struct UpdatePlan {
   std::uint32_t fromEpoch = 0;
   std::uint32_t toEpoch = 0;
   int totalEntries = 0;
+  /// Intent identity of the *target* configuration (see Deployment).
+  std::string topology;
+  std::string routing;
+  std::uint64_t ecmpSalt = 0;
 };
 
 /// A logical link repair() could not re-project (no spare physical link).

@@ -1,0 +1,476 @@
+#include "controller/recovery.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "controller/monitor.hpp"
+#include "controller/table_diff.hpp"
+
+namespace sdt::controller {
+namespace {
+
+/// Transfer id for one converge bundle. High tag 0x4EC0 ("reco") keeps
+/// recovery's xid space disjoint from the transaction layer's 0xF10D, so a
+/// late duplicate from the crashed transaction can never mask a recovery
+/// bundle (or vice versa). The anti-entropy round index makes each
+/// iteration's bundle a fresh xid — only *retries within* a round dedup.
+std::uint64_t recoveryXid(int round, int sw) {
+  return (0x4EC0ULL << 48) | (static_cast<std::uint64_t>(round) << 16) |
+         static_cast<std::uint64_t>(sw);
+}
+
+}  // namespace
+
+const char* recoveryDecisionName(RecoveryDecision decision) {
+  switch (decision) {
+    case RecoveryDecision::kNone: return "none";
+    case RecoveryDecision::kRollForward: return "roll-forward";
+    case RecoveryDecision::kRollBack: return "roll-back";
+    case RecoveryDecision::kReinstall: return "reinstall";
+  }
+  return "?";
+}
+
+json::Value RecoveryReport::toJson() const {
+  json::Object obj;
+  obj["converged"] = converged;
+  obj["decision"] = recoveryDecisionName(decision);
+  obj["topology"] = topology;
+  obj["routing"] = routing;
+  obj["targetEpoch"] = static_cast<std::int64_t>(targetEpoch);
+  obj["txWasOpen"] = txWasOpen;
+  obj["txFlipped"] = txFlipped;
+  obj["fromEpoch"] = static_cast<std::int64_t>(fromEpoch);
+  obj["toEpoch"] = static_cast<std::int64_t>(toEpoch);
+  obj["switchesDrifted"] = switchesDrifted;
+  obj["switchesRebooted"] = switchesRebooted;
+  obj["rulesMissing"] = rulesMissing;
+  obj["rulesExtra"] = rulesExtra;
+  obj["rulesRestamped"] = rulesRestamped;
+  obj["flowMods"] = flowMods;
+  obj["fullRedeployFlowMods"] = fullRedeployFlowMods;
+  obj["statsRounds"] = statsRounds;
+  obj["retriesTotal"] = retriesTotal;
+  obj["startedAtNs"] = static_cast<std::int64_t>(startedAt);
+  obj["finishedAtNs"] = static_cast<std::int64_t>(finishedAt);
+  obj["convergenceTimeNs"] = static_cast<std::int64_t>(convergenceTime());
+  obj["pureStateVerified"] = pureStateVerified;
+  if (!failure.empty()) obj["failure"] = failure;
+  json::Array sws;
+  for (const SwitchRecoveryState& s : switches) {
+    json::Object sw;
+    sw["snapshotAcked"] = s.snapshotAcked;
+    sw["convergeAcked"] = s.convergeAcked;
+    sw["rebooted"] = s.rebooted;
+    sw["drifted"] = s.drifted;
+    sw["rulesMissing"] = s.rulesMissing;
+    sw["rulesExtra"] = s.rulesExtra;
+    sw["rulesRestamped"] = s.rulesRestamped;
+    sw["convergeRounds"] = s.convergeRounds;
+    sw["retries"] = s.retries;
+    sws.push_back(std::move(sw));
+  }
+  obj["switches"] = std::move(sws);
+  return obj;
+}
+
+Result<RecoveryPlan> planRecovery(const SdtController& controller,
+                                  const Journal& journal,
+                                  const IntentCatalog& catalog,
+                                  const DeployOptions& options) {
+  auto replayed = journal.replay();
+  if (!replayed) return replayed.error();
+  const JournalState& st = replayed.value().state;
+
+  RecoveryPlan plan;
+  plan.txWasOpen = st.txOpen;
+  plan.txFlipped = st.txFlipped;
+  plan.fromEpoch = st.txFromEpoch;
+  plan.toEpoch = st.txToEpoch;
+  if (st.txOpen && st.txFlipped) {
+    // The flip marker proves the dead controller may have sent flips: some
+    // ingress could already stamp the new epoch. Forward is the only safe
+    // direction (Reitblatt: past the commit point, complete the update).
+    plan.decision = RecoveryDecision::kRollForward;
+    plan.topology = st.txTopology;
+    plan.routing = st.txRouting;
+    plan.ecmpSalt = st.txEcmpSalt;
+    plan.targetEpoch = st.txToEpoch;
+    plan.staleEpoch = st.txFromEpoch;
+  } else if (st.txOpen) {
+    // No flip marker: the marker is journaled before the first flip send,
+    // so no packet was ever stamped with the new epoch. Rolling back to the
+    // (still fully installed) old intent is safe and cheapest.
+    if (!st.valid) {
+      return makeError(
+          "journal has an open un-flipped transaction but no prior deployed "
+          "intent to roll back to");
+    }
+    plan.decision = RecoveryDecision::kRollBack;
+    plan.topology = st.topology;
+    plan.routing = st.routing;
+    plan.ecmpSalt = st.ecmpSalt;
+    plan.targetEpoch = st.epoch;
+    plan.staleEpoch = st.txToEpoch;
+  } else {
+    if (!st.valid) return makeError("journal holds no deployable intent");
+    plan.decision = RecoveryDecision::kReinstall;
+    plan.topology = st.topology;
+    plan.routing = st.routing;
+    plan.ecmpSalt = st.ecmpSalt;
+    plan.targetEpoch = st.epoch;
+    plan.staleEpoch = 0;
+  }
+
+  const auto entry = catalog.find(plan.topology);
+  if (entry == catalog.end() || entry->second.topology == nullptr ||
+      entry->second.routing == nullptr) {
+    return makeError(strFormat(
+        "journaled intent '%s' is not in the recovery catalog", plan.topology.c_str()));
+  }
+  if (entry->second.routing->name() != plan.routing) {
+    return makeError(strFormat(
+        "catalog routing '%s' does not match journaled routing '%s' for '%s'",
+        entry->second.routing->name().c_str(), plan.routing.c_str(),
+        plan.topology.c_str()));
+  }
+
+  auto proj = projection::LinkProjector::project(*entry->second.topology,
+                                                 controller.plant(), options.projector);
+  if (!proj) return proj.error();
+  // Recompile with the *journaled* salt: the tables must be byte-identical
+  // to what the dead controller installed, or the diff would churn every
+  // ECMP choice. No deadlock re-check — the intent passed it at deploy time,
+  // and refusing here would leave the fabric in its crashed mixed state.
+  DeployOptions compileOptions = options;
+  compileOptions.ecmpSalt = plan.ecmpSalt;
+  auto tables = detail::compileFlowTables(*entry->second.topology, proj.value(),
+                                          controller.plant(), *entry->second.routing,
+                                          compileOptions, plan.targetEpoch);
+  if (!tables) return tables.error();
+  for (const auto& t : tables.value()) plan.totalEntries += static_cast<int>(t.size());
+  plan.projection = std::move(proj).value();
+  plan.tables = std::move(tables).value();
+  return plan;
+}
+
+RecoveryRun::RecoveryRun(sim::Simulator& sim, sim::ControlChannel& channel,
+                         std::vector<std::shared_ptr<openflow::Switch>> switches,
+                         RecoveryPlan plan, RecoveryOptions options, DoneFn done)
+    : sim_(&sim),
+      channel_(&channel),
+      switches_(std::move(switches)),
+      plan_(std::move(plan)),
+      options_(std::move(options)),
+      done_(std::move(done)) {
+  const auto n = static_cast<std::size_t>(numSwitches());
+  pending_.resize(n);
+  lastSnap_.resize(n);
+  roundComplete_.assign(n, 0);
+  backoffRng_.reserve(n);
+  for (std::size_t sw = 0; sw < n; ++sw) {
+    std::uint64_t mix = options_.retry.seed ^ (0x4EC0BEA7ULL + sw);
+    backoffRng_.emplace_back(sdt::detail::splitmix64(mix));
+  }
+  report_.decision = plan_.decision;
+  report_.topology = plan_.topology;
+  report_.routing = plan_.routing;
+  report_.targetEpoch = plan_.targetEpoch;
+  report_.txWasOpen = plan_.txWasOpen;
+  report_.txFlipped = plan_.txFlipped;
+  report_.fromEpoch = plan_.fromEpoch;
+  report_.toEpoch = plan_.toEpoch;
+  report_.switches.resize(n);
+}
+
+void RecoveryRun::start() {
+  report_.startedAt = sim_->now();
+  if (options_.monitor != nullptr) {
+    for (int sw = 0; sw < numSwitches(); ++sw) options_.monitor->guardSwitch(sw);
+  }
+  currentRound_ = Round::kReadback;
+  for (int sw = 0; sw < numSwitches(); ++sw) startRound(sw, Round::kReadback, 1);
+}
+
+TimeNs RecoveryRun::backoffDelay(int sw, int attempt) {
+  double wait = static_cast<double>(options_.retry.baseBackoff);
+  for (int i = 1; i < attempt; ++i) wait *= options_.retry.backoffMultiplier;
+  if (options_.retry.jitter > 0.0) {
+    wait *= 1.0 - options_.retry.jitter *
+                      backoffRng_[static_cast<std::size_t>(sw)].uniform();
+  }
+  const auto capped = static_cast<TimeNs>(wait);
+  return std::min(capped, options_.retry.maxBackoff);
+}
+
+void RecoveryRun::startRound(int sw, Round round, int attempt) {
+  if (finished_ || roundComplete_[static_cast<std::size_t>(sw)] != 0) return;
+  if (attempt > 1) {
+    ++report_.retriesTotal;
+    ++report_.switches[static_cast<std::size_t>(sw)].retries;
+  }
+  const std::uint64_t gen = gen_;
+  if (round == Round::kReadback) {
+    // Flow-stats request: the switch snapshots its table at *delivery* time
+    // (not send time) and ships the copy back; both legs are lossy.
+    channel_->send(sw, [this, sw, gen]() {
+      const openflow::TableSnapshot snap =
+          switches_[static_cast<std::size_t>(sw)]->snapshot();
+      channel_->send(sw, [this, sw, gen, snap]() {
+        if (finished_ || gen != gen_) return;
+        onSnapshot(sw, snap);
+      });
+    });
+  } else {
+    // Converge bundle: captured by value so a duplicate delivered after the
+    // round advanced still re-acks the *same* bundle it acked before. The
+    // xid (bound to this anti-entropy round) makes re-application a no-op.
+    const ConvergeOps ops = pending_[static_cast<std::size_t>(sw)];
+    const std::uint64_t xid = recoveryXid(roundIndex_, sw);
+    channel_->send(sw, [this, sw, gen, xid, ops]() {
+      openflow::Switch& ofs = *switches_[static_cast<std::size_t>(sw)];
+      if (ofs.acceptXid(xid)) {
+        // Applied atomically (one OpenFlow bundle-commit): removes first so
+        // the table never holds both an entry and its replacement.
+        for (const openflow::FlowEntry& e : ops.removes) ofs.table().removeExact(e);
+        for (const openflow::FlowEntry& e : ops.adds) {
+          openflow::FlowEntry fresh = e;
+          fresh.packetCount = 0;
+          fresh.byteCount = 0;
+          // A full table here means the fabric still carries two epochs'
+          // rules beyond what the removes cover; the verify round will see
+          // the shortfall and the next iteration finishes the job.
+          (void)ofs.table().add(std::move(fresh));
+        }
+        if (ops.restamp) ofs.table().restampEpoch(plan_.targetEpoch);
+        if (ops.flipEpoch) ofs.setIngressEpoch(plan_.targetEpoch);
+        report_.flowMods += ops.mods();
+      }
+      channel_->send(sw, [this, sw, gen]() {
+        if (finished_ || gen != gen_) return;
+        onConvergeAck(sw);
+      });
+    });
+  }
+  sim_->schedule(options_.retry.attemptTimeout, [this, sw, round, attempt, gen]() {
+    onRoundTimeout(sw, round, attempt, gen);
+  });
+}
+
+void RecoveryRun::onRoundTimeout(int sw, Round round, int attempt,
+                                 std::uint64_t gen) {
+  if (finished_ || gen != gen_ || roundComplete_[static_cast<std::size_t>(sw)] != 0) {
+    return;
+  }
+  if (attempt >= options_.convergeAttempts) {
+    finishFailure(strFormat(
+        "switch %d unreachable during recovery %s round after %d attempts", sw,
+        round == Round::kReadback ? "readback" : "converge", attempt));
+    return;
+  }
+  const TimeNs backoff = backoffDelay(sw, attempt);
+  sim_->schedule(backoff, [this, sw, round, attempt, gen]() {
+    if (finished_ || gen != gen_ ||
+        roundComplete_[static_cast<std::size_t>(sw)] != 0) {
+      return;
+    }
+    startRound(sw, round, attempt + 1);
+  });
+}
+
+void RecoveryRun::onSnapshot(int sw, const openflow::TableSnapshot& snap) {
+  if (roundComplete_[static_cast<std::size_t>(sw)] != 0) return;
+  report_.switches[static_cast<std::size_t>(sw)].snapshotAcked = true;
+  lastSnap_[static_cast<std::size_t>(sw)] = snap;
+  completeSwitch(sw);
+}
+
+void RecoveryRun::onConvergeAck(int sw) {
+  if (roundComplete_[static_cast<std::size_t>(sw)] != 0) return;
+  report_.switches[static_cast<std::size_t>(sw)].convergeAcked = true;
+  completeSwitch(sw);
+}
+
+void RecoveryRun::completeSwitch(int sw) {
+  roundComplete_[static_cast<std::size_t>(sw)] = 1;
+  ++roundAcks_;
+  if (roundAcks_ < numSwitches()) return;
+
+  if (currentRound_ == Round::kReadback) {
+    ++report_.statsRounds;
+    // Diff every snapshot against the target: the journaled intent is the
+    // truth, the snapshot is the fabric, the diff is the repair.
+    bool anyDrift = false;
+    for (int s = 0; s < numSwitches(); ++s) {
+      const openflow::TableSnapshot& snap = lastSnap_[static_cast<std::size_t>(s)];
+      ConvergeOps ops;
+      detail::TableDiff diff = detail::diffEntries(
+          snap.entries, plan_.tables[static_cast<std::size_t>(s)]);
+      ops.removes = std::move(diff.toRemove);
+      ops.adds.reserve(diff.toAdd.size());
+      for (const openflow::FlowEntry* e : diff.toAdd) ops.adds.push_back(*e);
+      // Rules that survive the diff but carry the losing epoch's stamp only
+      // need the cookie sweep, not a delete+add round-trip.
+      std::size_t wrongEpoch = 0;
+      for (const openflow::FlowEntry& e : snap.entries) {
+        if (openflow::cookieEpoch(e.cookie) != plan_.targetEpoch) ++wrongEpoch;
+      }
+      std::size_t wrongInRemoves = 0;
+      for (const openflow::FlowEntry& e : ops.removes) {
+        if (openflow::cookieEpoch(e.cookie) != plan_.targetEpoch) ++wrongInRemoves;
+      }
+      ops.restampCount = static_cast<int>(wrongEpoch - wrongInRemoves);
+      ops.restamp = ops.restampCount > 0;
+      ops.flipEpoch = snap.ingressEpoch != plan_.targetEpoch;
+      if (firstReadback_) recordFirstReadback(s, ops, snap);
+      anyDrift = anyDrift || !ops.empty();
+      pending_[static_cast<std::size_t>(s)] = std::move(ops);
+    }
+    firstReadback_ = false;
+    if (!anyDrift) {
+      finishSuccess();
+      return;
+    }
+    if (report_.statsRounds >= options_.maxRounds) {
+      finishFailure(strFormat(
+          "anti-entropy failed to converge after %d readback rounds",
+          report_.statsRounds));
+      return;
+    }
+    beginConverge();
+  } else {
+    beginVerify();
+  }
+}
+
+void RecoveryRun::recordFirstReadback(int sw, const ConvergeOps& ops,
+                                      const openflow::TableSnapshot& snap) {
+  SwitchRecoveryState& st = report_.switches[static_cast<std::size_t>(sw)];
+  st.rulesMissing = static_cast<int>(ops.adds.size());
+  st.rulesExtra = static_cast<int>(ops.removes.size());
+  st.rulesRestamped = ops.restampCount;
+  st.rebooted = snap.entries.empty() && snap.ingressEpoch == 0;
+  st.drifted = !ops.empty();
+  report_.rulesMissing += st.rulesMissing;
+  report_.rulesExtra += st.rulesExtra;
+  report_.rulesRestamped += st.rulesRestamped;
+  if (st.rebooted) ++report_.switchesRebooted;
+  if (st.drifted) ++report_.switchesDrifted;
+  // The trust-nothing alternative: wipe what the snapshot shows, reinstall
+  // the whole target. Recovery's flowMods is the incremental counterpoint.
+  report_.fullRedeployFlowMods +=
+      static_cast<int>(snap.entries.size()) +
+      static_cast<int>(plan_.tables[static_cast<std::size_t>(sw)].size());
+}
+
+void RecoveryRun::beginConverge() {
+  ++gen_;
+  ++roundIndex_;
+  currentRound_ = Round::kConverge;
+  std::fill(roundComplete_.begin(), roundComplete_.end(), 0);
+  roundAcks_ = 0;
+  // Clean switches sit the round out (no message at all); completeSwitch is
+  // not called for them to keep the all-acked barrier arithmetic simple.
+  int sent = 0;
+  for (int sw = 0; sw < numSwitches(); ++sw) {
+    if (pending_[static_cast<std::size_t>(sw)].empty()) {
+      roundComplete_[static_cast<std::size_t>(sw)] = 1;
+      ++roundAcks_;
+      continue;
+    }
+    ++report_.switches[static_cast<std::size_t>(sw)].convergeRounds;
+    startRound(sw, Round::kConverge, 1);
+    ++sent;
+  }
+  // beginConverge only runs when some switch drifted, so the barrier cannot
+  // already be full here; the acks arrive as simulator events.
+  (void)sent;
+}
+
+void RecoveryRun::beginVerify() {
+  ++gen_;
+  ++roundIndex_;
+  currentRound_ = Round::kReadback;
+  std::fill(roundComplete_.begin(), roundComplete_.end(), 0);
+  roundAcks_ = 0;
+  for (int sw = 0; sw < numSwitches(); ++sw) startRound(sw, Round::kReadback, 1);
+}
+
+void RecoveryRun::finishSuccess() {
+  // Direct audit, bypassing the channel: the verify round already proved
+  // convergence through lossy snapshots, this re-proves it on the objects.
+  bool pure = true;
+  for (int sw = 0; sw < numSwitches(); ++sw) {
+    const openflow::Switch& ofs = *switches_[static_cast<std::size_t>(sw)];
+    if (ofs.ingressEpoch() != plan_.targetEpoch) pure = false;
+    for (const openflow::FlowEntry& e : ofs.table().entries()) {
+      if (openflow::cookieEpoch(e.cookie) != plan_.targetEpoch) pure = false;
+    }
+  }
+  if (!pure) {
+    finishFailure("post-convergence purity audit failed");
+    return;
+  }
+  report_.pureStateVerified = true;
+  report_.converged = true;
+
+  deployment_.projection = plan_.projection;
+  deployment_.switches = switches_;
+  deployment_.epoch = plan_.targetEpoch;
+  deployment_.topology = plan_.topology;
+  deployment_.routing = plan_.routing;
+  deployment_.ecmpSalt = plan_.ecmpSalt;
+  deployment_.totalFlowEntries = 0;
+  deployment_.maxEntriesPerSwitch = 0;
+  for (const auto& ofs : deployment_.switches) {
+    const int n = static_cast<int>(ofs->table().size());
+    deployment_.totalFlowEntries += n;
+    deployment_.maxEntriesPerSwitch = std::max(deployment_.maxEntriesPerSwitch, n);
+  }
+  deployment_.reconfigTime =
+      projection::reconfigTime(projection::TpMethod::kSDT, report_.flowMods);
+
+  if (options_.journal != nullptr) {
+    JournalRecord rec;
+    rec.kind = JournalRecordKind::kRecovery;
+    rec.at = sim_->now();
+    rec.epoch = plan_.targetEpoch;
+    rec.topology = plan_.topology;
+    rec.routing = plan_.routing;
+    rec.ecmpSalt = plan_.ecmpSalt;
+    (void)options_.journal->append(std::move(rec));
+  }
+  finish();
+}
+
+void RecoveryRun::finishFailure(const std::string& why) {
+  report_.converged = false;
+  report_.failure = why;
+  finish();
+}
+
+void RecoveryRun::finish() {
+  finished_ = true;
+  ++gen_;  // cancels every outstanding timer and in-flight handler
+  report_.finishedAt = sim_->now();
+  if (options_.monitor != nullptr) {
+    // Unguard reseeds the tx-counter baselines, so the converge burst's
+    // stalled counters cannot read as a wedged transceiver afterwards.
+    for (int sw = 0; sw < numSwitches(); ++sw) options_.monitor->unguardSwitch(sw);
+  }
+  if (done_) done_(report_);
+}
+
+Status<Error> journalDeploy(Journal& journal, const Deployment& deployment,
+                            TimeNs at) {
+  JournalRecord rec;
+  rec.kind = JournalRecordKind::kDeploy;
+  rec.at = at;
+  rec.epoch = deployment.epoch;
+  rec.topology = deployment.topology;
+  rec.routing = deployment.routing;
+  rec.ecmpSalt = deployment.ecmpSalt;
+  return journal.append(std::move(rec));
+}
+
+}  // namespace sdt::controller

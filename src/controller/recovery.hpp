@@ -1,0 +1,264 @@
+// Controller crash recovery: journal replay, switch table readback, and
+// anti-entropy reconciliation.
+//
+// A restarted controller owns nothing but the write-ahead journal
+// (controller/journal.hpp): no Deployment, no transaction object, no idea
+// whether the fabric matches any intent. Recovery rebuilds trust in three
+// steps:
+//
+//   plan     planRecovery() replays the journal, decides the *target* intent
+//            — an open transaction that journaled its flip marker rolls
+//            FORWARD (some ingress may already stamp the new epoch; rolling
+//            back would strand those packets' rules), an un-flipped one
+//            rolls BACK (provably no packet ever carried the new epoch),
+//            and a quiescent journal just re-asserts the live intent — and
+//            recompiles that intent's flow tables from the journaled
+//            topology/routing names and ECMP salt (recovery::IntentCatalog).
+//   readback The controller trusts switches, not memory: a flow-stats
+//            request per switch over the lossy ControlChannel (with
+//            retry/backoff) returns each table + ingress epoch verbatim.
+//            A rebooted switch shows up as an empty table stamping epoch 0.
+//   converge Per switch, the epoch-insensitive multiset diff
+//            (controller/table_diff.hpp) between the snapshot and the target
+//            yields a minimal flow-mod bundle: strict-deletes, adds, one
+//            cookie-restamp sweep for rules that only changed epoch, and the
+//            ingress-epoch flip. Bundles are xid-stamped and applied
+//            atomically at the switch. Because the channel can drop or
+//            duplicate anything, recovery is ANTI-ENTROPY: after converging
+//            it reads back again and re-diffs, iterating until a verify
+//            round shows zero drift everywhere (or the round cap trips).
+//
+// The run ends with a direct purity audit (every rule and every ingress
+// stamp carries exactly the target epoch), a kRecovery journal record so the
+// *next* crash sees a clean slate, and a Deployment the caller adopts as the
+// new live state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "common/retry.hpp"
+#include "common/rng.hpp"
+#include "controller/controller.hpp"
+#include "controller/journal.hpp"
+#include "sim/control_channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace sdt::controller {
+
+class NetworkMonitor;
+
+enum class RecoveryDecision : std::uint8_t {
+  kNone,         ///< planning failed; nothing decided
+  kRollForward,  ///< open transaction past its flip marker: finish it
+  kRollBack,     ///< open transaction, flip never journaled: undo it
+  kReinstall,    ///< no open transaction: re-assert the live intent as-is
+};
+
+const char* recoveryDecisionName(RecoveryDecision decision);
+
+/// How a restarted controller turns journaled intent *names* back into
+/// objects: the journal stores "fat-tree-k4"/"ecmp", the catalog maps those
+/// names to the topology and routing instances the new process constructed.
+struct IntentCatalogEntry {
+  const topo::Topology* topology = nullptr;
+  const routing::RoutingAlgorithm* routing = nullptr;
+};
+using IntentCatalog = std::map<std::string, IntentCatalogEntry>;
+
+/// Everything decided before any switch is contacted: the chosen direction,
+/// the recompiled target tables, and the journal facts that led there.
+struct RecoveryPlan {
+  RecoveryDecision decision = RecoveryDecision::kNone;
+  std::string topology;          ///< target intent identity
+  std::string routing;
+  std::uint64_t ecmpSalt = 0;
+  std::uint32_t targetEpoch = 0;
+  std::uint32_t staleEpoch = 0;  ///< the losing transaction epoch (0 = none)
+  bool txWasOpen = false;
+  bool txFlipped = false;
+  std::uint32_t fromEpoch = 0;   ///< open transaction's epochs (0 = none)
+  std::uint32_t toEpoch = 0;
+  projection::Projection projection;
+  /// Per-physical-switch target entries, cookies stamped targetEpoch.
+  std::vector<std::vector<openflow::FlowEntry>> tables;
+  int totalEntries = 0;
+};
+
+/// Replay the journal and compile the recovery target. Pure planning: no
+/// switch is contacted, no state mutated. `options` supplies the projector
+/// knobs; the deadlock check is intentionally skipped (the intent passed it
+/// when first deployed, and a recovering controller must not refuse to
+/// restore the only consistent state it can prove).
+Result<RecoveryPlan> planRecovery(const SdtController& controller,
+                                  const Journal& journal,
+                                  const IntentCatalog& catalog,
+                                  const DeployOptions& options = {});
+
+struct RecoveryOptions {
+  /// Retry budget and backoff shape per readback / converge attempt.
+  retry::RetryPolicy retry;
+  /// Per-switch attempt backstop for a single round (like
+  /// ReconfigOptions::commitAttempts): recovery never gives up early, but a
+  /// channel that never delivers must not hang the simulation.
+  int convergeAttempts = 1000;
+  /// Anti-entropy iteration cap: readback -> converge -> readback ... until
+  /// a verify round is clean everywhere or this many rounds have run.
+  int maxRounds = 8;
+  /// Guarded for the duration of the run (converge makes counters wobble
+  /// exactly like the failure signatures); unguarding at the end reseeds the
+  /// monitor's counter baselines. This should be the *new* controller's
+  /// monitor — the crashed controller's monitor died with it.
+  NetworkMonitor* monitor = nullptr;
+  /// When set, a kRecovery record is appended after convergence so the next
+  /// cold start sees the converged intent as live and no open transaction.
+  Journal* journal = nullptr;
+};
+
+/// Per-switch recovery outcome (index == physical switch id).
+struct SwitchRecoveryState {
+  bool snapshotAcked = false;   ///< at least one readback round-trip done
+  bool convergeAcked = false;   ///< last converge bundle acked (or none needed)
+  bool rebooted = false;        ///< first snapshot: empty table, epoch 0
+  bool drifted = false;         ///< first snapshot disagreed with the target
+  int rulesMissing = 0;         ///< target rules absent from the first snapshot
+  int rulesExtra = 0;           ///< snapshot rules not in the target
+  int rulesRestamped = 0;       ///< right rule, wrong epoch stamp (cookie sweep)
+  int convergeRounds = 0;       ///< bundles this switch actually needed
+  int retries = 0;              ///< sends beyond the first, all rounds
+};
+
+struct RecoveryReport {
+  bool converged = false;
+  RecoveryDecision decision = RecoveryDecision::kNone;
+  std::string topology;
+  std::string routing;
+  std::uint32_t targetEpoch = 0;
+  bool txWasOpen = false;
+  bool txFlipped = false;
+  std::uint32_t fromEpoch = 0;
+  std::uint32_t toEpoch = 0;
+
+  int switchesDrifted = 0;    ///< first readback: switches needing any mod
+  int switchesRebooted = 0;   ///< empty-table, epoch-0 switches repopulated
+  int rulesMissing = 0;       ///< summed over first readback
+  int rulesExtra = 0;
+  int rulesRestamped = 0;
+  int flowMods = 0;           ///< deletes + adds + restamp/flip ops applied
+  /// What a trust-nothing full redeploy would have cost instead:
+  /// clear every live entry + install every target entry.
+  int fullRedeployFlowMods = 0;
+  int statsRounds = 0;        ///< readback rounds completed
+  int retriesTotal = 0;
+
+  TimeNs startedAt = 0;
+  TimeNs finishedAt = 0;
+  [[nodiscard]] TimeNs convergenceTime() const { return finishedAt - startedAt; }
+
+  /// Direct post-run audit: every switch holds only targetEpoch rules and
+  /// stamps targetEpoch at ingress. False (with converged) cannot happen —
+  /// a failed audit fails the run.
+  bool pureStateVerified = false;
+
+  std::vector<SwitchRecoveryState> switches;
+  std::string failure;  ///< empty when converged
+
+  [[nodiscard]] json::Value toJson() const;
+};
+
+/// One in-flight recovery. Same lifetime rules as ReconfigTransaction: the
+/// simulator, channel, and switch objects must outlive the run, and the run
+/// must outlive the simulation window it executes in.
+class RecoveryRun {
+ public:
+  using DoneFn = std::function<void(const RecoveryReport&)>;
+
+  /// `switches` are the live switch models the crashed controller programmed
+  /// (in a real deployment: the re-established OpenFlow sessions). The run
+  /// never trusts their tables — that is what readback is for.
+  RecoveryRun(sim::Simulator& sim, sim::ControlChannel& channel,
+              std::vector<std::shared_ptr<openflow::Switch>> switches,
+              RecoveryPlan plan, RecoveryOptions options = {},
+              DoneFn done = nullptr);
+
+  /// Kick off the first readback round (schedules simulator events).
+  void start();
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const RecoveryReport& report() const { return report_; }
+
+  /// The deployment the converged fabric now implements (valid only after a
+  /// successful run): adopt this as the new live state.
+  [[nodiscard]] const Deployment& deployment() const { return deployment_; }
+  [[nodiscard]] Deployment takeDeployment() { return std::move(deployment_); }
+
+ private:
+  enum class Round : std::uint8_t { kReadback, kConverge };
+
+  /// One switch's pending converge bundle (computed from its last snapshot).
+  struct ConvergeOps {
+    std::vector<openflow::FlowEntry> removes;  ///< strict-delete these
+    std::vector<openflow::FlowEntry> adds;     ///< install these (fresh copies)
+    bool restamp = false;    ///< cookie-epoch sweep needed
+    int restampCount = 0;    ///< entries the sweep would touch (drift metric)
+    bool flipEpoch = false;  ///< ingress stamp != targetEpoch
+    [[nodiscard]] bool empty() const {
+      return removes.empty() && adds.empty() && !restamp && !flipEpoch;
+    }
+    [[nodiscard]] int mods() const {
+      return static_cast<int>(removes.size() + adds.size()) + (restamp ? 1 : 0) +
+             (flipEpoch ? 1 : 0);
+    }
+  };
+
+  [[nodiscard]] int numSwitches() const {
+    return static_cast<int>(switches_.size());
+  }
+  void startRound(int sw, Round round, int attempt);
+  void onSnapshot(int sw, const openflow::TableSnapshot& snap);
+  void onConvergeAck(int sw);
+  void onRoundTimeout(int sw, Round round, int attempt, std::uint64_t gen);
+  [[nodiscard]] TimeNs backoffDelay(int sw, int attempt);
+  void completeSwitch(int sw);
+  void beginConverge();
+  void beginVerify();
+  void recordFirstReadback(int sw, const ConvergeOps& ops,
+                           const openflow::TableSnapshot& snap);
+  void finishSuccess();
+  void finishFailure(const std::string& why);
+  void finish();
+
+  sim::Simulator* sim_;
+  sim::ControlChannel* channel_;
+  std::vector<std::shared_ptr<openflow::Switch>> switches_;
+  RecoveryPlan plan_;
+  RecoveryOptions options_;
+  DoneFn done_;
+
+  Round currentRound_ = Round::kReadback;
+  int roundIndex_ = 0;       ///< anti-entropy iteration counter (xid salt)
+  bool finished_ = false;
+  std::uint64_t gen_ = 0;    ///< bumped on round change; stale timers no-op
+  RecoveryReport report_;
+  Deployment deployment_;
+  std::vector<ConvergeOps> pending_;      ///< per switch, refreshed per readback
+  std::vector<openflow::TableSnapshot> lastSnap_;
+  std::vector<char> roundComplete_;
+  std::vector<Rng> backoffRng_;
+  int roundAcks_ = 0;
+  bool firstReadback_ = true;  ///< drift accounting happens once
+};
+
+/// Append the kDeploy intent record for a fresh deployment. deploy() itself
+/// stays journal-free (it is a pure compile); the caller that *adopts* the
+/// deployment as live state journals it, exactly once, via this helper.
+Status<Error> journalDeploy(Journal& journal, const Deployment& deployment,
+                            TimeNs at);
+
+}  // namespace sdt::controller

@@ -3,9 +3,24 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
+#include "controller/journal.hpp"
 #include "controller/monitor.hpp"
 
 namespace sdt::controller {
+
+namespace {
+
+/// OpenFlow transfer id for one transaction flow-mod bundle. The high tag
+/// separates the transaction's xid space from recovery's (0x4ECOV…); epoch,
+/// round, and switch make every distinct bundle distinct, while a *retry* of
+/// the same bundle reuses the same xid — which is the whole point: the
+/// switch applies the first delivered copy and only re-acks the rest.
+std::uint64_t txXid(std::uint32_t toEpoch, int round, int sw) {
+  return (0xF10DULL << 48) | (static_cast<std::uint64_t>(toEpoch) << 16) |
+         (static_cast<std::uint64_t>(round) << 8) | static_cast<std::uint64_t>(sw);
+}
+
+}  // namespace
 
 const char* reconfigPhaseName(ReconfigPhase phase) {
   switch (phase) {
@@ -18,6 +33,52 @@ const char* reconfigPhaseName(ReconfigPhase phase) {
     case ReconfigPhase::kDone: return "done";
   }
   return "?";
+}
+
+const char* crashPointName(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kNone: return "none";
+    case CrashPoint::kPrepare: return "prepare";
+    case CrashPoint::kMidInstall: return "mid-install";
+    case CrashPoint::kPreFlip: return "pre-flip";
+    case CrashPoint::kPostFlip: return "post-flip";
+    case CrashPoint::kMidGc: return "mid-gc";
+  }
+  return "?";
+}
+
+json::Value ReconfigReport::toJson() const {
+  json::Object obj;
+  obj["committed"] = committed;
+  obj["rolledBack"] = rolledBack;
+  obj["phaseReached"] = reconfigPhaseName(phaseReached);
+  obj["fromEpoch"] = static_cast<std::int64_t>(fromEpoch);
+  obj["toEpoch"] = static_cast<std::int64_t>(toEpoch);
+  obj["flowModsInstalled"] = flowModsInstalled;
+  obj["flowModsRolledBack"] = flowModsRolledBack;
+  obj["flowModsGarbageCollected"] = flowModsGarbageCollected;
+  obj["barrierRoundTrips"] = barrierRoundTrips;
+  obj["retriesTotal"] = retriesTotal;
+  obj["startedAtNs"] = static_cast<std::int64_t>(startedAt);
+  obj["updateWindowNs"] = static_cast<std::int64_t>(updateWindow());
+  obj["finishedAtNs"] = static_cast<std::int64_t>(finishedAt);
+  obj["rollbackLatencyNs"] = static_cast<std::int64_t>(rollbackLatency);
+  obj["pureStateVerified"] = pureStateVerified;
+  obj["gcIncomplete"] = gcIncomplete;
+  if (!failure.empty()) obj["failure"] = failure;
+  json::Array sws;
+  for (const SwitchTxState& s : switches) {
+    json::Object sw;
+    sw["installAcked"] = s.installAcked;
+    sw["barrierAcked"] = s.barrierAcked;
+    sw["flipAcked"] = s.flipAcked;
+    sw["gcAcked"] = s.gcAcked;
+    sw["rollbackAcked"] = s.rollbackAcked;
+    sw["retries"] = s.retries;
+    sws.push_back(std::move(sw));
+  }
+  obj["switches"] = std::move(sws);
+  return obj;
 }
 
 ReconfigTransaction::ReconfigTransaction(sim::Simulator& sim,
@@ -37,7 +98,7 @@ ReconfigTransaction::ReconfigTransaction(sim::Simulator& sim,
   backoffRng_.reserve(n);
   for (std::size_t sw = 0; sw < n; ++sw) {
     std::uint64_t mix = options_.retry.seed ^ (0x7C0FF1E5ULL + sw);
-    backoffRng_.emplace_back(detail::splitmix64(mix));
+    backoffRng_.emplace_back(sdt::detail::splitmix64(mix));
   }
   report_.fromEpoch = plan_.fromEpoch;
   report_.toEpoch = plan_.toEpoch;
@@ -69,6 +130,11 @@ bool* ReconfigTransaction::appliedFlag(int sw, Round round) {
 
 void ReconfigTransaction::start() {
   report_.startedAt = sim_->now();
+  // WAL discipline: the prepare record hits the journal before the first
+  // install leaves the controller, so any later crash finds an open
+  // transaction with its full target intent.
+  journalMark(JournalRecordKind::kTxPrepare);
+  if (maybeCrash(CrashPoint::kPrepare)) return;
   phase_ = ReconfigPhase::kInstall;
   report_.phaseReached = ReconfigPhase::kInstall;
   currentRound_ = Round::kInstall;
@@ -151,11 +217,17 @@ void ReconfigTransaction::applyAtSwitch(int sw, Round round) {
   if (finished_) return;
   openflow::Switch& ofs = *deployment_->switches[static_cast<std::size_t>(sw)];
   SwitchTxState& done = applied_[static_cast<std::size_t>(sw)];
+  // Mutating bundles carry an OpenFlow xid; the switch itself refuses
+  // re-application (openflow::Switch::acceptXid), which is what makes the
+  // at-least-once channel safe — see the dedup note on acceptXid(). The
+  // applied_ flags stay as cross-round fences and report bookkeeping.
+  const std::uint64_t xid = txXid(plan_.toEpoch, static_cast<int>(round), sw);
   switch (round) {
     case Round::kInstall: {
       // A request that limps in after this switch already processed the
       // abort must not resurrect the new epoch's rules.
-      if (done.installAcked || done.rollbackAcked) break;
+      if (done.rollbackAcked) break;
+      if (!ofs.acceptXid(xid)) break;
       for (const openflow::FlowEntry& e : plan_.tables[static_cast<std::size_t>(sw)]) {
         if (auto s = ofs.table().add(e); !s) {
           abort(ReconfigPhase::kInstall,
@@ -174,17 +246,19 @@ void ReconfigTransaction::applyAtSwitch(int sw, Round round) {
       ofs.barrier();
       break;
     case Round::kFlip:
+      // Also idempotent (a pure config write), so no xid is consumed: even
+      // a flip retransmitted after a switch reboot must re-apply.
       ofs.setIngressEpoch(plan_.toEpoch);
       done.flipAcked = true;
       break;
     case Round::kGc:
-      if (done.gcAcked) break;
+      if (!ofs.acceptXid(xid)) break;
       report_.flowModsGarbageCollected +=
           static_cast<int>(ofs.table().removeByEpoch(plan_.fromEpoch));
       done.gcAcked = true;
       break;
     case Round::kRollback:
-      if (done.rollbackAcked) break;
+      if (!ofs.acceptXid(xid)) break;
       report_.flowModsRolledBack +=
           static_cast<int>(ofs.table().removeByEpoch(plan_.toEpoch));
       done.rollbackAcked = true;
@@ -206,6 +280,14 @@ void ReconfigTransaction::onAck(int sw, Round round) {
   }
   roundComplete_[static_cast<std::size_t>(sw)] = 1;
   ++roundAcks_;
+  // Mid-phase crash points fire on the *first* ack of their round: the
+  // moment the fabric is most asymmetric (one switch has acted, the rest
+  // have not), which is the hardest state recovery must untangle.
+  if (roundAcks_ == 1) {
+    if (round == Round::kInstall && maybeCrash(CrashPoint::kMidInstall)) return;
+    if (round == Round::kFlip && maybeCrash(CrashPoint::kPostFlip)) return;
+    if (round == Round::kGc && maybeCrash(CrashPoint::kMidGc)) return;
+  }
   if (roundAcks_ == numSwitches()) advancePhase();
 }
 
@@ -223,6 +305,11 @@ void ReconfigTransaction::advancePhase() {
     case Round::kBarrier:
       // Commit point: the first flip message may stamp a packet with the new
       // epoch the moment it lands, after which rollback is off the table.
+      // The crash point sits *before* the flip marker is journaled: a
+      // controller that dies here provably sent no flip, so its successor
+      // may (must) roll back.
+      if (maybeCrash(CrashPoint::kPreFlip)) return;
+      journalMark(JournalRecordKind::kTxFlip);
       phase_ = ReconfigPhase::kFlip;
       report_.phaseReached = ReconfigPhase::kFlip;
       currentRound_ = Round::kFlip;
@@ -252,6 +339,7 @@ void ReconfigTransaction::advancePhase() {
 }
 
 void ReconfigTransaction::beginGc() {
+  journalMark(JournalRecordKind::kTxGc);
   ++gen_;
   phase_ = ReconfigPhase::kGc;
   report_.phaseReached = ReconfigPhase::kGc;
@@ -276,9 +364,43 @@ void ReconfigTransaction::abort(ReconfigPhase at, const std::string& why) {
   for (int sw = 0; sw < numSwitches(); ++sw) startRound(sw, Round::kRollback, 1);
 }
 
+void ReconfigTransaction::journalMark(JournalRecordKind kind) {
+  if (options_.journal == nullptr) return;
+  JournalRecord rec;
+  rec.kind = kind;
+  rec.at = sim_->now();
+  rec.epoch = kind == JournalRecordKind::kTxCommit ? plan_.toEpoch : plan_.fromEpoch;
+  rec.fromEpoch = plan_.fromEpoch;
+  rec.toEpoch = plan_.toEpoch;
+  rec.topology = plan_.topology;
+  rec.routing = plan_.routing;
+  rec.ecmpSalt = plan_.ecmpSalt;
+  // Deliberately non-fatal: a journal that stops accepting writes must not
+  // take the live fabric down with it. Recovery treats the journal as a
+  // prefix of the truth anyway.
+  (void)options_.journal->append(std::move(rec));
+}
+
+bool ReconfigTransaction::maybeCrash(CrashPoint point) {
+  if (options_.crashAt != point || crashed_ || finished_) return false;
+  crashed_ = true;
+  finished_ = true;  // the fence: every callback checks this first
+  ++gen_;            // cancels outstanding retry timers deterministically
+  report_.finishedAt = sim_->now();
+  report_.failure = strFormat("controller crashed at %s", crashPointName(point));
+  report_.switches = acked_;
+  // No journal record, no monitor unguard, no done callback: a killed
+  // process runs no cleanup. The guards the transaction took stay in place
+  // until recovery re-takes and releases them.
+  if (options_.onCrash) options_.onCrash();
+  return true;
+}
+
 void ReconfigTransaction::finish() {
   finished_ = true;
   report_.finishedAt = sim_->now();
+  journalMark(report_.committed ? JournalRecordKind::kTxCommit
+                                : JournalRecordKind::kTxAbort);
 
   // Purity audit: after a committed transaction every switch must hold only
   // epoch-N+1 rules and stamp N+1; after a rollback, only epoch-N and stamp

@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/retry.hpp"
 #include "common/rng.hpp"
 #include "controller/controller.hpp"
@@ -55,6 +56,8 @@
 namespace sdt::controller {
 
 class NetworkMonitor;
+class Journal;
+enum class JournalRecordKind : std::uint8_t;
 
 enum class ReconfigPhase : std::uint8_t {
   kPrepare,
@@ -67,6 +70,23 @@ enum class ReconfigPhase : std::uint8_t {
 };
 
 const char* reconfigPhaseName(ReconfigPhase phase);
+
+/// Controller crash injection (crash recovery tests, controller/recovery.hpp).
+/// The transaction dies the instant it reaches the chosen point: no further
+/// sends, no acks processed, no monitor unguard, no done callback — exactly
+/// what a SIGKILL'd controller process leaves behind. In-flight control
+/// messages keep traveling (the switches are alive; only the controller's
+/// side of every TCP session is gone) but land on the fence and are ignored.
+enum class CrashPoint : std::uint8_t {
+  kNone,        ///< never crash
+  kPrepare,     ///< after journaling the prepare record, before any install
+  kMidInstall,  ///< after the first install ack (some switches have N+1 rules)
+  kPreFlip,     ///< barrier done, before the flip marker is journaled or sent
+  kPostFlip,    ///< after the first flip ack (commit point crossed, mixed stamps)
+  kMidGc,       ///< after the first gc ack (some switches still carry epoch N)
+};
+
+const char* crashPointName(CrashPoint point);
 
 struct ReconfigOptions {
   /// Retry budget and backoff shape for the bounded phases (install,
@@ -84,6 +104,17 @@ struct ReconfigOptions {
   /// for the duration of the transaction (reconfiguration makes counters
   /// stall and queues wobble in ways that mimic the failure signatures).
   NetworkMonitor* monitor = nullptr;
+  /// Write-ahead intent journal. When set, the transaction appends phase
+  /// markers (prepare / flip / gc / commit / abort) *before* the action they
+  /// announce, so a crashed controller's successor can decide roll-forward
+  /// vs. roll-back from durable state alone. Append failures are non-fatal:
+  /// a full journal disk must not wedge the live fabric.
+  Journal* journal = nullptr;
+  /// Crash injection: die at this point (see CrashPoint). kNone in production.
+  CrashPoint crashAt = CrashPoint::kNone;
+  /// Called at the instant of an injected crash (after the fence is up),
+  /// e.g. for a test to record the crash time or stop traffic.
+  std::function<void()> onCrash;
 };
 
 /// Per-switch protocol outcome (index == physical switch id).
@@ -129,6 +160,8 @@ struct ReconfigReport {
 
   std::vector<SwitchTxState> switches;
   std::string failure;  ///< abort cause (empty when committed)
+
+  [[nodiscard]] json::Value toJson() const;
 };
 
 /// One in-flight transactional reconfiguration. The deployment, channel,
@@ -151,6 +184,11 @@ class ReconfigTransaction {
   void start();
 
   [[nodiscard]] bool finished() const { return finished_; }
+  /// True when an injected CrashPoint fired: the transaction is dead but
+  /// *unresolved* — finished() is also true (nothing will run again), yet
+  /// neither committed nor rolledBack is set and done was never called.
+  /// The fabric is in whatever mixed state the crash left; recovery's job.
+  [[nodiscard]] bool crashed() const { return crashed_; }
   [[nodiscard]] ReconfigPhase phase() const { return phase_; }
   [[nodiscard]] const ReconfigReport& report() const { return report_; }
 
@@ -169,6 +207,11 @@ class ReconfigTransaction {
   void abort(ReconfigPhase at, const std::string& why);
   void beginGc();
   void finish();
+  /// Append a phase marker to options_.journal (no-op without one).
+  void journalMark(JournalRecordKind kind);
+  /// Fire the injected crash if `point` is the configured one. Returns true
+  /// when the controller just died (caller must stop immediately).
+  bool maybeCrash(CrashPoint point);
   [[nodiscard]] bool* ackedFlag(int sw, Round round);
   [[nodiscard]] bool* appliedFlag(int sw, Round round);
 
@@ -183,6 +226,7 @@ class ReconfigTransaction {
   Round currentRound_ = Round::kInstall;
   bool aborting_ = false;
   bool finished_ = false;
+  bool crashed_ = false;  ///< injected crash fence (see crashed())
   bool stuck_ = false;  ///< some forward-only round exhausted its backstop
   std::uint64_t gen_ = 0;  ///< bumped on phase change; stale timeouts no-op
   TimeNs abortAt_ = 0;

@@ -73,6 +73,16 @@ std::size_t FlowTable::removeByEpoch(std::uint32_t epoch) {
   return removed;
 }
 
+std::size_t FlowTable::restampEpoch(std::uint32_t epoch) {
+  std::size_t changed = 0;
+  for (FlowEntry& e : entries_) {
+    if (cookieEpoch(e.cookie) == epoch) continue;
+    e.cookie = makeCookie(epoch, cookieTag(e.cookie));
+    ++changed;
+  }
+  return changed;
+}
+
 std::size_t FlowTable::countEpoch(std::uint32_t epoch) const {
   return static_cast<std::size_t>(
       std::count_if(entries_.begin(), entries_.end(), [&](const FlowEntry& e) {

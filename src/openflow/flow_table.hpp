@@ -147,6 +147,14 @@ class FlowTable {
   /// Number of entries whose cookie carries `epoch` (purity audits).
   [[nodiscard]] std::size_t countEpoch(std::uint32_t epoch) const;
 
+  /// Rewrite the epoch half of every entry's cookie to `epoch` (a single
+  /// cookie-rewrite flow-mod per switch, modeling an OFPFC_MODIFY sweep).
+  /// Crash recovery uses this to adopt rules that survived a controller
+  /// crash under a stale epoch stamp instead of paying a delete+add per
+  /// rule; returns how many entries changed. Match fields are untouched,
+  /// so the lookup index stays valid.
+  std::size_t restampEpoch(std::uint32_t epoch);
+
   /// Remove the first entry identical to `entry` under sameRule() (an
   /// OpenFlow strict-delete flow-mod); returns whether one was found.
   bool removeExact(const FlowEntry& entry);

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.hpp"
@@ -37,6 +38,16 @@ struct ForwardDecision {
   /// cookieEpoch() of the matched entry (0 = wildcard rule or table miss);
   /// the consistency checker attributes the hop to a configuration with it.
   std::uint32_t ruleEpoch = 0;
+};
+
+/// Flow-stats readback: a copy of everything the controller can learn about
+/// a switch's forwarding state over the control channel (an OpenFlow
+/// flow-stats + ingress-config request). Crash recovery diffs this against
+/// the journaled intent instead of trusting its own (lost) bookkeeping.
+struct TableSnapshot {
+  std::vector<FlowEntry> entries;
+  std::uint32_t ingressEpoch = 0;
+  std::uint64_t barriersSeen = 0;
 };
 
 class Switch {
@@ -72,6 +83,38 @@ class Switch {
   std::uint64_t barrier() { return ++barriersSeen_; }
   [[nodiscard]] std::uint64_t barriersSeen() const { return barriersSeen_; }
 
+  /// OpenFlow xid dedup: the control channel is at-least-once, so a
+  /// flow-mod bundle can be delivered twice (duplicate in flight, or a
+  /// retransmit whose original was only slow, not lost). Re-applying a
+  /// bundle verbatim is not idempotent — a duplicated strict-delete can
+  /// remove a legitimately re-added twin rule — so every mutating bundle
+  /// carries a transfer id and the switch refuses re-application. Returns
+  /// true the first time an xid is seen (caller should apply), false on a
+  /// duplicate (caller should only re-ack).
+  bool acceptXid(std::uint64_t xid) { return xidsSeen_.insert(xid).second; }
+  [[nodiscard]] bool seenXid(std::uint64_t xid) const {
+    return xidsSeen_.count(xid) > 0;
+  }
+
+  /// Flow-stats readback over the control channel (crash recovery):
+  /// snapshot the table and ingress configuration as of now.
+  [[nodiscard]] TableSnapshot snapshot() const {
+    return {table_.entries(), ingressEpoch_, barriersSeen_};
+  }
+
+  /// Power-cycle: the flow table, ingress-epoch config, barrier counter,
+  /// xid cache, and port counters are all volatile on a commodity switch.
+  /// Ports come back healthy — the cure is reinstalling state, which is
+  /// exactly what makes an un-noticed reboot a silent black hole until the
+  /// controller reads the (empty) table back.
+  void reboot() {
+    table_.clear();
+    ingressEpoch_ = 0;
+    barriersSeen_ = 0;
+    xidsSeen_.clear();
+    resetStats();
+  }
+
   [[nodiscard]] const PortStats& portStats(int port) const { return portStats_[port]; }
   [[nodiscard]] const std::vector<PortStats>& allPortStats() const { return portStats_; }
   void resetStats();
@@ -82,6 +125,7 @@ class Switch {
   std::vector<PortStats> portStats_;
   std::uint32_t ingressEpoch_ = 0;
   std::uint64_t barriersSeen_ = 0;
+  std::unordered_set<std::uint64_t> xidsSeen_;
 };
 
 }  // namespace sdt::openflow

@@ -11,6 +11,7 @@ const char* faultKindName(FaultKind kind) {
     case FaultKind::kCableCut: return "cable-cut";
     case FaultKind::kCableRestore: return "cable-restore";
     case FaultKind::kSwitchCrash: return "switch-crash";
+    case FaultKind::kSwitchReboot: return "switch-reboot";
     case FaultKind::kPortStall: return "port-stall";
     case FaultKind::kPortUnstall: return "port-unstall";
     case FaultKind::kImpair: return "impair";
@@ -59,6 +60,11 @@ void FaultInjector::apply(const FaultSpec& spec) {
       assert(spec.sw >= 0 && spec.sw < static_cast<int>(ofSwitches_.size()) &&
              "attachSwitches() before crashing a switch");
       ofSwitches_[spec.sw]->table().clear();
+      break;
+    case FaultKind::kSwitchReboot:
+      assert(spec.sw >= 0 && spec.sw < static_cast<int>(ofSwitches_.size()) &&
+             "attachSwitches() before rebooting a switch");
+      ofSwitches_[spec.sw]->reboot();
       break;
     case FaultKind::kPortStall:
       net_->setPortStalled(spec.sw, spec.port, true);

@@ -39,6 +39,7 @@ enum class FaultKind : std::uint8_t {
   kCableCut,     ///< cut the cable at (sw, port): both peer ports go down
   kCableRestore, ///< re-seat the cable: both peer ports come back
   kSwitchCrash,  ///< physical switch loses its flow table (power cycle)
+  kSwitchReboot, ///< full power cycle: table, ingress epoch, xid cache, stats
   kPortStall,    ///< transceiver wedges: tx freezes, backlog builds
   kPortUnstall,  ///< the wedge clears
   kImpair,       ///< probabilistic frame drop/corruption at the port
@@ -95,6 +96,12 @@ class FaultInjector {
     schedule({at, FaultKind::kPortUp, sw, port});
   }
   void crashSwitch(TimeNs at, int sw) { schedule({at, FaultKind::kSwitchCrash, sw, -1}); }
+  /// Unlike kSwitchCrash (table wipe only, the PR-2 repair scenario), a
+  /// reboot also clears the ingress-epoch config and xid cache — the state
+  /// crash recovery must read back and repopulate.
+  void rebootSwitch(TimeNs at, int sw) {
+    schedule({at, FaultKind::kSwitchReboot, sw, -1});
+  }
   void stallPort(TimeNs at, int sw, int port) {
     schedule({at, FaultKind::kPortStall, sw, port});
   }

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include "controller/controller.hpp"
+#include "controller/journal.hpp"
+#include "controller/recovery.hpp"
 #include "controller/transaction.hpp"
 #include "routing/shortest_path.hpp"
 #include "sim/builder.hpp"
@@ -233,6 +235,152 @@ TEST(Determinism, TransactionalReconfigBitIdenticalSerialVsThreaded) {
   bool anyDiffer = false;
   for (std::size_t i = 1; i < seeds.size(); ++i) {
     anyDiffer = anyDiffer || !(serial[i] == serial[0]);
+  }
+  EXPECT_TRUE(anyDiffer);
+}
+
+/// Everything observable about a crash-at-phase-K + cold-start recovery:
+/// the crashed transaction's trace, the journal's exact byte stream (records
+/// carry simulated time only — any wall-clock leak shows up here first), and
+/// the reconciliation trace.
+struct CrashRecoveryFingerprint {
+  bool crashed = false;
+  int decision = 0;
+  bool converged = false;
+  std::uint32_t targetEpoch = 0;
+  int flowMods = 0;
+  int statsRounds = 0;
+  int retriesTotal = 0;
+  int switchesDrifted = 0;
+  int switchesRebooted = 0;
+  TimeNs recoveredAt = 0;
+  std::uint64_t journalHash = 0;  ///< FNV-1a over the raw journal bytes
+  std::uint64_t portHash = 0;
+
+  bool operator==(const CrashRecoveryFingerprint&) const = default;
+};
+
+std::uint64_t hashBytes(const std::string& bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+CrashRecoveryFingerprint runCrashRecoverPoint(std::uint64_t seed,
+                                              controller::CrashPoint crashAt) {
+  const topo::Topology from = topo::makeLine(6);
+  const topo::Topology to = topo::makeRing(6);
+  const routing::ShortestPathRouting rFrom(from);
+  const routing::ShortestPathRouting rTo(to);
+  auto plantR = projection::planPlant({&from, &to}, {.numSwitches = 2});
+  EXPECT_TRUE(plantR.ok());
+  const projection::Plant plant = std::move(plantR).value();
+  controller::SdtController ctl(plant);
+  auto depR = ctl.deploy(from, rFrom);
+  EXPECT_TRUE(depR.ok());
+  controller::Deployment dep = std::move(depR).value();
+
+  controller::MemoryJournalStorage storage;
+  controller::Journal journal(storage);
+  EXPECT_TRUE(controller::journalDeploy(journal, dep, 0).ok());
+
+  sim::Simulator sim;
+  sim::BuiltNetwork built = sim::buildProjectedNetwork(
+      sim, from, dep.projection, plant, dep.switches, {}, {2.0, 1.0}, nullptr);
+  sim::TransportManager tm(sim, *built.net, {});
+  sim::ControlChannelConfig cfg;
+  cfg.dropProb = 0.2;
+  cfg.dupProb = 0.15;
+  cfg.reorderProb = 0.15;
+  sim::ControlChannel channel(sim, seed, cfg);
+
+  controller::DeployOptions dopt;
+  dopt.requireDeadlockFree = false;
+  auto planR = ctl.planUpdate(dep, to, rTo, dopt);
+  EXPECT_TRUE(planR.ok());
+  controller::ReconfigOptions topt;
+  topt.journal = &journal;
+  topt.crashAt = crashAt;
+  controller::ReconfigTransaction tx(sim, channel, dep, std::move(planR).value(),
+                                     topt);
+  const int hosts = from.numHosts();
+  for (int h = 0; h < hosts; ++h) {
+    tm.startTcpFlow(h, (h + hosts / 2) % hosts, 64 * 1024, nullptr);
+  }
+  sim.schedule(usToNs(100.0), [&]() { tx.start(); });
+  sim.runUntil(msToNs(80.0));
+
+  CrashRecoveryFingerprint fp;
+  if (!tx.finished()) return fp;
+  fp.crashed = tx.crashed();
+  // A seed-determined switch power-cycles while the controller is down.
+  dep.switches[seed % dep.switches.size()]->reboot();
+
+  controller::IntentCatalog catalog;
+  catalog[from.name()] = {&from, &rFrom};
+  catalog[to.name()] = {&to, &rTo};
+  auto rplanR = controller::planRecovery(ctl, journal, catalog, dopt);
+  if (!rplanR.ok()) return fp;
+  fp.decision = static_cast<int>(rplanR.value().decision);
+  fp.targetEpoch = rplanR.value().targetEpoch;
+  controller::RecoveryOptions ropt;
+  ropt.journal = &journal;
+  ropt.retry.seed = seed;
+  controller::RecoveryRun recovery(sim, channel, dep.switches,
+                                   std::move(rplanR).value(), ropt);
+  recovery.start();
+  sim.runUntil(sim.now() + msToNs(100.0));
+  if (!recovery.finished()) return fp;
+  const controller::RecoveryReport& r = recovery.report();
+  fp.converged = r.converged;
+  fp.flowMods = r.flowMods;
+  fp.statsRounds = r.statsRounds;
+  fp.retriesTotal = r.retriesTotal;
+  fp.switchesDrifted = r.switchesDrifted;
+  fp.switchesRebooted = r.switchesRebooted;
+  fp.recoveredAt = r.finishedAt;
+  fp.journalHash = hashBytes(storage.bytes());
+  fp.portHash = hashPorts(*built.net);
+  return fp;
+}
+
+TEST(Determinism, CrashRecoveryBitIdenticalSerialVsThreaded) {
+  // One point per crash phase, each with its own channel seed: the journal
+  // byte stream, the recovery trace, and the data-plane counters must all be
+  // pure functions of (seed, crash point).
+  const std::vector<std::uint64_t> seeds{11, 22, 33, 44, 55};
+  const controller::CrashPoint points[] = {
+      controller::CrashPoint::kPrepare, controller::CrashPoint::kMidInstall,
+      controller::CrashPoint::kPreFlip, controller::CrashPoint::kPostFlip,
+      controller::CrashPoint::kMidGc};
+
+  std::vector<CrashRecoveryFingerprint> serial;
+  serial.reserve(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    serial.push_back(runCrashRecoverPoint(seeds[i], points[i]));
+  }
+
+  const SweepRunner sweep(4);
+  const std::vector<CrashRecoveryFingerprint> threaded = sweep.run(
+      seeds.size(),
+      [&](std::size_t i) { return runCrashRecoverPoint(seeds[i], points[i]); });
+
+  ASSERT_EQ(threaded.size(), serial.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(threaded[i], serial[i]) << "crash point " << i << " diverged";
+    EXPECT_EQ(runCrashRecoverPoint(seeds[i], points[i]), serial[i])
+        << "crash seed " << seeds[i] << " not a pure function of the seed";
+    EXPECT_TRUE(serial[i].crashed) << "point " << i << " never crashed";
+    EXPECT_TRUE(serial[i].converged) << "point " << i << " never recovered";
+    EXPECT_NE(serial[i].journalHash, 0u);
+  }
+  // Distinct (seed, phase) points must actually journal differently.
+  bool anyDiffer = false;
+  for (std::size_t i = 1; i < seeds.size(); ++i) {
+    anyDiffer = anyDiffer || serial[i].journalHash != serial[0].journalHash;
   }
   EXPECT_TRUE(anyDiffer);
 }
