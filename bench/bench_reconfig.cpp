@@ -46,7 +46,8 @@ struct UpdateOutcome {
 /// link from t=0 for that long (forcing a rollback when it outlasts the
 /// install retry budget).
 UpdateOutcome runLiveUpdate(std::uint64_t seed, const sim::ControlChannelConfig& cfg,
-                            TimeNs disconnectSwitch0Ns = 0) {
+                            TimeNs disconnectSwitch0Ns = 0,
+                            obs::Registry* metrics = nullptr) {
   UpdateOutcome out;
   const topo::Topology from = topo::makeLine(6);
   const topo::Topology to = topo::makeRing(6);
@@ -76,7 +77,10 @@ UpdateOutcome runLiveUpdate(std::uint64_t seed, const sim::ControlChannelConfig&
   if (!planR) std::abort();
   const int newTotal = planR.value().totalEntries;
 
-  controller::ReconfigTransaction tx(sim, channel, dep, std::move(planR).value());
+  controller::ReconfigOptions topt;
+  topt.metrics = metrics;
+  controller::ReconfigTransaction tx(sim, channel, dep, std::move(planR).value(),
+                                     topt);
   const int hosts = from.numHosts();
   for (int h = 0; h < hosts; ++h) {
     tm.startTcpFlow(h, (h + hosts / 2) % hosts, 128 * kKiB, nullptr);
@@ -98,6 +102,20 @@ UpdateOutcome runLiveUpdate(std::uint64_t seed, const sim::ControlChannelConfig&
   out.rollbackLatency = r.rollbackLatency;
   out.violations = checker.violations().size();
   out.stamped = checker.stampedPackets();
+  if (metrics != nullptr) {
+    // One-shot push of the channel totals (the pull-collector variant would
+    // capture a channel that dies with this scope). inc() accumulates across
+    // the sweep's runs.
+    const sim::ControlChannelStats& cs = channel.stats();
+    const char* help = "Control-channel messages by outcome";
+    metrics->counter("sdt_ctrl_msgs_total", {{"result", "sent"}}, help).inc(cs.sent);
+    metrics->counter("sdt_ctrl_msgs_total", {{"result", "delivered"}}, help)
+        .inc(cs.delivered);
+    metrics->counter("sdt_ctrl_msgs_total", {{"result", "dropped"}}, help)
+        .inc(cs.dropped);
+    metrics->counter("sdt_ctrl_msgs_total", {{"result", "duplicated"}}, help)
+        .inc(cs.duplicated);
+  }
   return out;
 }
 
@@ -118,7 +136,7 @@ int main() {
     cfg.dropProb = drop;
     cfg.dupProb = drop / 2;
     cfg.reorderProb = drop / 2;
-    const UpdateOutcome out = runLiveUpdate(2023, cfg);
+    const UpdateOutcome out = runLiveUpdate(2023, cfg, 0, &report.metrics());
     if (!out.committed || !out.pure || out.violations != 0) {
       std::printf("  WARN: drop=%.1f did not commit pure (violations=%zu)\n", drop,
                   out.violations);
@@ -154,7 +172,7 @@ int main() {
   // Rollback latency: switch 0 unreachable past the whole install budget.
   {
     sim::ControlChannelConfig cfg;
-    const UpdateOutcome out = runLiveUpdate(2023, cfg, msToNs(3.0));
+    const UpdateOutcome out = runLiveUpdate(2023, cfg, msToNs(3.0), &report.metrics());
     if (!out.rolledBack || !out.pure) {
       std::printf("WARN: disconnect scenario did not roll back pure\n");
     }

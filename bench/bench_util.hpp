@@ -13,6 +13,8 @@
 
 #include "common/json.hpp"
 #include "common/rng.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "projection/plant.hpp"
 #include "routing/routing.hpp"
 #include "testbed/evaluator.hpp"
@@ -44,10 +46,17 @@ class JsonReport {
     it->second.asArray().emplace_back(std::move(fields));
   }
 
+  /// Obs registry embedded in the report: hand it to collectors
+  /// (obs/collectors.hpp) or NetworkMonitor::attachMetrics and write() adds
+  /// a "metrics" section with everything it collected.
+  [[nodiscard]] obs::Registry& metrics() { return metrics_; }
+
   /// Write BENCH_<name>.json; returns false (and warns) on I/O failure.
   bool write() const {
     const std::string path = "BENCH_" + name_ + ".json";
-    const std::string text = json::Value(root_).dump(2);
+    json::Object root = root_;
+    root["metrics"] = obs::metricsToJson(metrics_);  // {} when nothing attached
+    const std::string text = json::Value(std::move(root)).dump(2);
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "WARN: cannot write %s\n", path.c_str());
@@ -63,6 +72,7 @@ class JsonReport {
  private:
   std::string name_;
   json::Object root_;
+  obs::Registry metrics_;
 };
 
 /// Auto-size a plant for `topo`, growing the switch count until it fits.

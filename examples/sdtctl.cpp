@@ -18,6 +18,18 @@
 //                                             journal
 //   sdtctl status                             replay a journal (--journal)
 //                                             and print the durable intent
+//   sdtctl stats    <config.json> [workload]  deploy, run a short workload
+//                                             with the obs registry attached,
+//                                             and print the collected metrics
+//                                             (Prometheus text, or --json)
+//   sdtctl trace    <config.json> [to.json]   stage a full traced lifecycle:
+//                                             deploy, switch-crash repair, a
+//                                             live transactional update (with
+//                                             a second config), and a
+//                                             journal-driven recovery audit;
+//                                             print the spans with per-phase
+//                                             timings (--json for
+//                                             machine-readable output)
 //
 // Common flags: --switches N (default 2), --spec 64|128|h3c (default 128),
 //               --flex P (add P optical flex pairs per switch, §VII-A)
@@ -35,8 +47,13 @@
 #include "controller/config.hpp"
 #include "controller/controller.hpp"
 #include "controller/journal.hpp"
+#include "controller/monitor.hpp"
 #include "controller/recovery.hpp"
 #include "controller/transaction.hpp"
+#include "obs/collectors.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "projection/feasibility.hpp"
 #include "sim/control_channel.hpp"
 #include "testbed/evaluator.hpp"
@@ -59,7 +76,7 @@ struct CliOptions {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: sdtctl <topo|check|deploy|run|feas|recover|status> "
+               "usage: sdtctl <topo|check|deploy|run|feas|recover|status|stats|trace> "
                "<config.json>... \n"
                "       [--switches N] [--spec 64|128|h3c] [--flex P] "
                "[workload name for 'run']\n"
@@ -463,6 +480,206 @@ int cmdRecover(const std::vector<controller::ExperimentConfig>& configs,
   return rr.converged ? 0 : 1;
 }
 
+int cmdStats(const controller::ExperimentConfig& config, const CliOptions& opt,
+             const std::string& workloadName) {
+  auto plant = makePlant({config}, opt);
+  if (!plant) {
+    std::fprintf(stderr, "plant: %s\n", plant.error().message.c_str());
+    return 1;
+  }
+  auto routing = routing::makeRouting(config.routingStrategy, config.topology);
+  if (!routing) {
+    std::fprintf(stderr, "routing: %s\n", routing.error().message.c_str());
+    return 1;
+  }
+  testbed::InstanceOptions iopt;
+  controller::applyFabricKnobs(config, iopt.network);
+  iopt.deploy.requireDeadlockFree = config.pfc;
+  auto inst = testbed::makeSdt(config.topology, *routing.value(), plant.value(), iopt);
+  if (!inst) {
+    std::fprintf(stderr, "testbed: %s\n", inst.error().message.c_str());
+    return 1;
+  }
+
+  obs::Registry registry;
+  obs::registerNetworkCollector(registry, inst.value().net());
+  obs::registerSwitchCollector(registry, inst.value().built.ofSwitches);
+  controller::NetworkMonitor monitor(*inst.value().sim, inst.value().net(),
+                                     config.topology,
+                                     inst.value().deployment->projection);
+  monitor.attachMetrics(registry, 64);
+  monitor.start();
+
+  workloads::Workload w =
+      workloadName == "alltoall"
+          ? workloads::imbAlltoall(std::min(16, config.topology.numHosts()),
+                                   16 * 1024, 2)
+          : workloads::imbPingpong(config.topology.numHosts(), 4096, 20);
+  // Drive the sim in bounded slices rather than testbed::runWorkload(): the
+  // monitor's periodic sampling keeps the event queue non-empty forever, so
+  // a drain-the-queue run() would never return.
+  std::vector<int> rankToHost(static_cast<std::size_t>(w.numRanks()));
+  for (int r = 0; r < w.numRanks(); ++r) rankToHost[static_cast<std::size_t>(r)] = r;
+  workloads::MpiRuntime runtime(*inst.value().sim, *inst.value().transport,
+                                std::move(rankToHost));
+  runtime.run(w);
+  sim::Simulator& sim = *inst.value().sim;
+  const TimeNs deadline = secToNs(10.0);
+  while (!runtime.finished() && sim.now() < deadline) {
+    sim.runUntil(sim.now() + msToNs(1.0));
+  }
+  monitor.stop();
+  if (!runtime.finished()) {
+    std::fprintf(stderr, "workload did not complete within 10 s of sim time\n");
+    return 1;
+  }
+
+  if (opt.jsonOut) {
+    std::printf("%s\n", obs::metricsToJson(registry).dump(2).c_str());
+  } else {
+    std::printf("%s", obs::metricsToPrometheus(registry).c_str());
+  }
+  return 0;
+}
+
+int cmdTrace(const std::vector<controller::ExperimentConfig>& configs,
+             const CliOptions& opt) {
+  auto plant = makePlant(configs, opt);
+  if (!plant) {
+    std::fprintf(stderr, "plant: %s\n", plant.error().message.c_str());
+    return 1;
+  }
+  const controller::ExperimentConfig& from = configs[0];
+  auto routingA = routing::makeRouting(from.routingStrategy, from.topology);
+  if (!routingA) {
+    std::fprintf(stderr, "routing: %s\n", routingA.error().message.c_str());
+    return 1;
+  }
+
+  obs::Registry registry;
+  obs::Tracer tracer;
+  sim::Simulator sim;
+  controller::SdtController ctl(plant.value());
+  ctl.setObservability({&registry, &tracer, [&sim]() { return sim.now(); }});
+
+  controller::DeployOptions dopt;
+  dopt.requireDeadlockFree = from.pfc;
+  auto dep = ctl.deploy(from.topology, *routingA.value(), dopt);
+  if (!dep) {
+    std::fprintf(stderr, "deploy: %s\n", dep.error().message.c_str());
+    return 1;
+  }
+  controller::Deployment deployment = std::move(dep).value();
+
+  // Repair demo: power-cycle switch 0 (table gone) and let repair()
+  // reinstall it over a control channel that fails each first send, so the
+  // repair span carries real retry counters.
+  {
+    deployment.switches[0]->table().clear();
+    controller::FailureSet failures;
+    failures.crashedSwitches = {0};
+    controller::RepairOptions ropt;
+    ropt.controlChannel = [](int attempt) { return attempt >= 2; };
+    auto rep = ctl.repair(deployment, from.topology, *routingA.value(), failures,
+                          ropt);
+    if (!rep) {
+      std::fprintf(stderr, "repair: %s\n", rep.error().message.c_str());
+      return 1;
+    }
+  }
+
+  // The recovery demo below replays this journal; the transaction journals
+  // its own flip/commit into it so the successor sees the final intent.
+  controller::MemoryJournalStorage storage;
+  controller::Journal journal(storage);
+  if (auto s = controller::journalDeploy(journal, deployment, 0); !s) {
+    std::fprintf(stderr, "journal: %s\n", s.error().message.c_str());
+    return 1;
+  }
+
+  sim::ControlChannelConfig ccfg;
+  ccfg.dropProb = 0.05;
+  ccfg.dupProb = 0.05;
+  sim::ControlChannel channel(sim, 1, ccfg);
+
+  controller::IntentCatalog catalog;
+  catalog[from.topology.name()] = {&from.topology, routingA.value().get()};
+
+  std::unique_ptr<routing::RoutingAlgorithm> routingB;
+  if (configs.size() >= 2) {
+    // Live transactional update to the second topology, over a mildly lossy
+    // control channel so the retry counters have something to show.
+    const controller::ExperimentConfig& to = configs[1];
+    auto routingR = routing::makeRouting(to.routingStrategy, to.topology);
+    if (!routingR) {
+      std::fprintf(stderr, "routing: %s\n", routingR.error().message.c_str());
+      return 1;
+    }
+    routingB = std::move(routingR).value();
+    dopt.requireDeadlockFree = from.pfc && to.pfc;
+    auto plan = ctl.planUpdate(deployment, to.topology, *routingB, dopt);
+    if (!plan) {
+      std::fprintf(stderr, "planUpdate: %s\n", plan.error().message.c_str());
+      return 1;
+    }
+    controller::ReconfigOptions topt;
+    topt.tracer = &tracer;
+    topt.metrics = &registry;
+    topt.journal = &journal;
+    controller::ReconfigTransaction tx(sim, channel, deployment,
+                                       std::move(plan).value(), topt);
+    tx.start();
+    sim.runUntil(msToNs(500.0));
+    if (!tx.finished()) {
+      std::fprintf(stderr, "transaction did not finish within 500 ms\n");
+      return 1;
+    }
+    catalog[to.topology.name()] = {&to.topology, routingB.get()};
+  }
+
+  // Recovery demo: a successor controller replays the journal and
+  // anti-entropies the fabric (a no-drift audit here — readback, converge,
+  // verify — since nothing was lost).
+  {
+    auto rplan = controller::planRecovery(ctl, journal, catalog, dopt);
+    if (!rplan) {
+      std::fprintf(stderr, "planRecovery: %s\n", rplan.error().message.c_str());
+      return 1;
+    }
+    controller::RecoveryOptions ropt;
+    ropt.journal = &journal;
+    ropt.tracer = &tracer;
+    ropt.metrics = &registry;
+    controller::RecoveryRun recovery(sim, channel, deployment.switches,
+                                     std::move(rplan).value(), ropt);
+    recovery.start();
+    sim.runUntil(sim.now() + msToNs(500.0));
+    if (!recovery.finished() || !recovery.report().converged) {
+      std::fprintf(stderr, "recovery did not converge within 500 ms\n");
+      return 1;
+    }
+  }
+
+  if (opt.jsonOut) {
+    std::printf("%s\n", obs::tracerToJson(tracer).dump(2).c_str());
+    return 0;
+  }
+  const std::vector<obs::Span> spans = tracer.spans();
+  std::vector<int> depth(spans.size(), 0);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent != obs::kNoSpan) depth[i] = depth[spans[i].parent] + 1;
+  }
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const obs::Span& s = spans[i];
+    std::printf("%*s%-28s start=%-12s dur=%-10s", depth[i] * 2, "",
+                s.name.c_str(), humanTime(s.start).c_str(),
+                humanTime(s.duration()).c_str());
+    for (const auto& [k, v] : s.attrs) std::printf(" %s=%s", k.c_str(), v.c_str());
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -494,5 +711,7 @@ int main(int argc, char** argv) {
   if (command == "run") return cmdRun(configs[0], opt.value(), workloadName);
   if (command == "feas") return cmdFeas(configs[0], opt.value());
   if (command == "recover") return cmdRecover(configs, opt.value());
+  if (command == "stats") return cmdStats(configs[0], opt.value(), workloadName);
+  if (command == "trace") return cmdTrace(configs, opt.value());
   return usage();
 }

@@ -37,32 +37,55 @@ struct RetryResult {
   TimeNs elapsed = 0;   ///< modeled time: failed-attempt timeouts + backoffs
 };
 
+/// Aggregate retry accounting across many exchanges. Dependency-free so
+/// common/ stays at the bottom of the library DAG; callers that keep an
+/// obs registry sync these totals into it.
+struct RetryCounters {
+  std::uint64_t attempts = 0;   ///< attempt() invocations
+  std::uint64_t retries = 0;    ///< failed attempts that waited and retried
+  std::uint64_t exhausted = 0;  ///< exchanges that ran out of attempts
+  std::uint64_t backoffNs = 0;  ///< modeled backoff time accumulated
+};
+
 /// Run `attempt(i)` (i = 1-based attempt number, returns true on success) up
 /// to policy.maxAttempts times. `streamId` decorrelates jitter across
 /// concurrent logical streams (e.g. one per switch being repaired).
+/// `counters`, when given, accumulates across calls.
 template <typename AttemptFn>
 RetryResult retryWithBackoff(const RetryPolicy& policy, std::uint64_t streamId,
-                             AttemptFn&& attempt) {
+                             AttemptFn&& attempt,
+                             RetryCounters* counters = nullptr) {
   RetryResult result;
   std::uint64_t mix = policy.seed ^ streamId;
   Rng rng(detail::splitmix64(mix));
+  // All backoff arithmetic is clamped at maxBackoff *as a double*, before
+  // any cast: an uncapped `backoff *= multiplier` exceeds 2^63 within ~64
+  // attempts and casting such a double to TimeNs is undefined behavior.
+  const double maxBackoff = static_cast<double>(policy.maxBackoff);
   double backoff = static_cast<double>(policy.baseBackoff);
+  if (backoff > maxBackoff) backoff = maxBackoff;
   for (int i = 1; i <= policy.maxAttempts; ++i) {
     ++result.attempts;
+    if (counters) ++counters->attempts;
     if (attempt(i)) {
       result.succeeded = true;
       return result;
     }
     result.elapsed += policy.attemptTimeout;  // waited the full ack window
     if (i == policy.maxAttempts) break;
+    if (counters) ++counters->retries;
     double wait = backoff;
     if (policy.jitter > 0.0) {
       wait *= 1.0 - policy.jitter * rng.uniform();
     }
+    if (wait > maxBackoff) wait = maxBackoff;
     const auto capped = static_cast<TimeNs>(wait);
-    result.elapsed += capped < policy.maxBackoff ? capped : policy.maxBackoff;
+    result.elapsed += capped;
+    if (counters) counters->backoffNs += static_cast<std::uint64_t>(capped);
     backoff *= policy.backoffMultiplier;
+    if (backoff > maxBackoff) backoff = maxBackoff;
   }
+  if (counters && !result.succeeded) ++counters->exhausted;
   return result;
 }
 

@@ -55,9 +55,16 @@ class Rng {
     return x % bound;
   }
 
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive. The width is computed in
+  /// uint64_t (where wraparound is defined): `hi - lo + 1` in signed
+  /// arithmetic overflows — UB — for spans over 2^63, e.g.
+  /// between(INT64_MIN, INT64_MAX). A full-range span wraps to 0 and is
+  /// served by a raw draw (every 64-bit pattern is a valid result).
   std::int64_t between(std::int64_t lo, std::int64_t hi) {
-    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>((*this)());
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + below(span));
   }
 
   /// Uniform double in [0, 1).

@@ -172,6 +172,56 @@ using detail::TableDiff;
 using detail::compileFlowTables;
 using detail::diffEntries;
 
+namespace {
+
+/// RAII root span for one controller operation. The controller's work is
+/// instantaneous in simulated time, so the span starts at the obs clock's
+/// reading and its phases advance only through the *modeled* durations the
+/// op computes (reconfigTime, retry backoff); a destructor-time finish
+/// stamps early error returns with outcome=error.
+class ScopedOpSpan {
+ public:
+  ScopedOpSpan(const SdtController::ObsContext& obs, const char* name)
+      : tracer_(obs.tracer), now_(obs.clock ? obs.clock() : 0) {
+    if (tracer_ != nullptr) root_ = tracer_->begin(name, now_);
+  }
+  ScopedOpSpan(const ScopedOpSpan&) = delete;
+  ScopedOpSpan& operator=(const ScopedOpSpan&) = delete;
+  ~ScopedOpSpan() { finish("error"); }
+
+  /// Close the current phase child and open `name`.
+  void phase(const char* name) {
+    if (tracer_ == nullptr) return;
+    if (phase_ != obs::kNoSpan) tracer_->end(phase_, now_);
+    phase_ = tracer_->begin(name, now_, root_);
+  }
+  /// Account modeled time to the currently open phase.
+  void advance(TimeNs d) { now_ += d; }
+  void annotate(const char* key, const std::string& value) {
+    if (tracer_ != nullptr && root_ != obs::kNoSpan) {
+      tracer_->annotate(root_, key, value);
+    }
+  }
+  void finish(const char* outcome) {
+    if (tracer_ == nullptr || root_ == obs::kNoSpan) return;
+    if (phase_ != obs::kNoSpan) {
+      tracer_->end(phase_, now_);
+      phase_ = obs::kNoSpan;
+    }
+    tracer_->annotate(root_, "outcome", outcome);
+    tracer_->end(root_, now_);
+    root_ = obs::kNoSpan;
+  }
+
+ private:
+  obs::Tracer* tracer_;
+  TimeNs now_;
+  obs::SpanId root_ = obs::kNoSpan;
+  obs::SpanId phase_ = obs::kNoSpan;
+};
+
+}  // namespace
+
 CheckReport SdtController::check(const std::vector<const topo::Topology*>& topologies,
                                  const DeployOptions& options) const {
   CheckReport report;
@@ -337,7 +387,11 @@ CheckReport SdtController::check(const std::vector<const topo::Topology*>& topol
 Result<Deployment> SdtController::deploy(const topo::Topology& topo,
                                          const routing::RoutingAlgorithm& routing,
                                          const DeployOptions& options) const {
+  ScopedOpSpan span(obs_, "deploy");
+  span.annotate("topology", topo.name());
+  span.annotate("routing", routing.name());
   if (options.requireDeadlockFree) {
+    span.phase("deploy.deadlock_check");
     const routing::DeadlockReport dl = routing::analyzeDeadlock(topo, routing);
     if (!dl.error.empty()) {
       return makeError("deadlock analysis failed: " + dl.error);
@@ -349,14 +403,17 @@ Result<Deployment> SdtController::deploy(const topo::Topology& topo,
           routing.name().c_str(), topo.name().c_str(), dl.cycle.size()));
     }
   }
+  span.phase("deploy.project");
   auto proj = projection::LinkProjector::project(topo, plant_, options.projector);
   if (!proj) return proj.error();
 
   Deployment deployment;  // epoch defaults to 1: the first configuration
+  span.phase("deploy.compile");
   auto tables =
       compileFlowTables(topo, proj.value(), plant_, routing, options, deployment.epoch);
   if (!tables) return tables.error();
 
+  span.phase("deploy.install");
   deployment.projection = std::move(proj).value();
   for (int psw = 0; psw < plant_.numSwitches(); ++psw) {
     const projection::PhysicalSwitchSpec& spec = plant_.switches[psw];
@@ -383,6 +440,9 @@ Result<Deployment> SdtController::deploy(const topo::Topology& topo,
   deployment.topology = topo.name();
   deployment.routing = routing.name();
   deployment.ecmpSalt = options.ecmpSalt;
+  span.advance(deployment.reconfigTime);  // install covers the modeled time
+  span.annotate("rules", std::to_string(deployment.totalFlowEntries));
+  span.finish("ok");
   return deployment;
 }
 
@@ -390,12 +450,16 @@ Result<Deployment> SdtController::reconfigure(const Deployment& previous,
                                               const topo::Topology& next,
                                               const routing::RoutingAlgorithm& routing,
                                               const DeployOptions& options) const {
+  ScopedOpSpan span(obs_, "reconfigure_offline");
+  span.annotate("topology", next.name());
+  span.phase("reconfigure_offline.compile");
   auto deployment = deploy(next, routing, options);
   if (!deployment) return deployment;
   // Incremental install: per switch, only the multiset difference between
   // the previous live table and the recompiled one costs flow-mods. The
   // per-entry flow-mod cost stays the dominant reconfiguration term (Table
   // II), so shrinking the mod count is exactly what shrinks the downtime.
+  span.phase("reconfigure_offline.diff");
   int mods = 0;
   for (int psw = 0; psw < plant_.numSwitches(); ++psw) {
     const TableDiff diff =
@@ -406,6 +470,10 @@ Result<Deployment> SdtController::reconfigure(const Deployment& previous,
   deployment.value().reconfigFlowMods = mods;
   deployment.value().reconfigTime =
       projection::reconfigTime(projection::TpMethod::kSDT, mods);
+  span.phase("reconfigure_offline.install");
+  span.advance(deployment.value().reconfigTime);
+  span.annotate("flow_mods", std::to_string(mods));
+  span.finish("ok");
   return deployment;
 }
 
@@ -413,7 +481,10 @@ Result<UpdatePlan> SdtController::planUpdate(const Deployment& current,
                                              const topo::Topology& next,
                                              const routing::RoutingAlgorithm& routing,
                                              const DeployOptions& options) const {
+  ScopedOpSpan span(obs_, "plan_update");
+  span.annotate("topology", next.name());
   if (options.requireDeadlockFree) {
+    span.phase("plan_update.deadlock_check");
     const routing::DeadlockReport dl = routing::analyzeDeadlock(next, routing);
     if (!dl.error.empty()) {
       return makeError("deadlock analysis failed: " + dl.error);
@@ -425,6 +496,7 @@ Result<UpdatePlan> SdtController::planUpdate(const Deployment& current,
           routing.name().c_str(), next.name().c_str()));
     }
   }
+  span.phase("plan_update.project");
   auto proj = projection::LinkProjector::project(next, plant_, options.projector);
   if (!proj) return proj.error();
 
@@ -445,9 +517,11 @@ Result<UpdatePlan> SdtController::planUpdate(const Deployment& current,
   UpdatePlan plan;
   plan.fromEpoch = current.epoch;
   plan.toEpoch = current.epoch + 1;
+  span.phase("plan_update.compile");
   auto tables =
       compileFlowTables(next, proj.value(), plant_, routing, options, plan.toEpoch);
   if (!tables) return tables.error();
+  span.phase("plan_update.capacity_check");
 
   // Two-version capacity: during the update window each switch holds its
   // full live table *plus* the full next-epoch set (§VII-C is the binding
@@ -470,6 +544,9 @@ Result<UpdatePlan> SdtController::planUpdate(const Deployment& current,
   plan.topology = next.name();
   plan.routing = routing.name();
   plan.ecmpSalt = options.ecmpSalt;
+  span.annotate("rules", std::to_string(plan.totalEntries));
+  span.annotate("to_epoch", std::to_string(plan.toEpoch));
+  span.finish("ok");
   return plan;
 }
 
@@ -478,6 +555,10 @@ Result<RepairReport> SdtController::repair(Deployment& deployment,
                                            const routing::RoutingAlgorithm& routing,
                                            const FailureSet& failures,
                                            const RepairOptions& options) const {
+  ScopedOpSpan span(obs_, "repair");
+  span.annotate("failed_ports", std::to_string(failures.ports.size()));
+  span.annotate("crashed_switches", std::to_string(failures.crashedSwitches.size()));
+  span.phase("repair.reproject");
   RepairReport report;
   projection::Projection& proj = deployment.projection;
   const int oldTotal = deployment.totalFlowEntries;
@@ -546,6 +627,7 @@ Result<RepairReport> SdtController::repair(Deployment& deployment,
   }
   report.degraded = !severedIds.empty();
 
+  span.phase("repair.reroute");
   // Phase 2 — routing on what survives. With every link re-projected the
   // original routing still holds (the logical topology is intact); severed
   // links force a detour-routing recompute and may split the fabric.
@@ -577,11 +659,13 @@ Result<RepairReport> SdtController::repair(Deployment& deployment,
   // table against the recompiled one, applied as strict-delete + add
   // flow-mods over the (possibly flaky) control channel. A crashed switch's
   // live table is empty, so the diff reinstalls its exact fresh set.
+  span.phase("repair.install");
   for (const int psw : failures.crashedSwitches) {
     deployment.switches[psw]->table().clear();
   }
   int newTotal = 0;
   std::uint64_t stream = 0;
+  retry::RetryCounters retryCounters;
   for (int psw = 0; psw < plant_.numSwitches(); ++psw) {
     openflow::FlowTable& live = deployment.switches[psw]->table();
     const std::vector<openflow::FlowEntry>& desired = tables.value()[psw];
@@ -594,7 +678,7 @@ Result<RepairReport> SdtController::repair(Deployment& deployment,
         return options.controlChannel ? options.controlChannel(n) : true;
       };
       const retry::RetryResult rr =
-          retry::retryWithBackoff(options.retry, stream++, attempt);
+          retry::retryWithBackoff(options.retry, stream++, attempt, &retryCounters);
       report.installRetries += rr.attempts - 1;
       report.retryBackoffTime += rr.elapsed;
       if (!rr.succeeded) {
@@ -631,14 +715,27 @@ Result<RepairReport> SdtController::repair(Deployment& deployment,
   report.repairTime =
       projection::reconfigTime(projection::TpMethod::kSDT, report.flowMods()) +
       report.retryBackoffTime;
+  if (obs_.metrics != nullptr && retryCounters.retries > 0) {
+    obs_.metrics
+        ->counter("sdt_controller_retry_attempts_total",
+                  {{"op", "repair"}, {"phase", "install"}},
+                  "Control-channel resends beyond the first attempt")
+        .inc(retryCounters.retries);
+  }
+  span.advance(report.repairTime);  // install covers the modeled repair time
 
   // Phase 4 — deadlock re-check on the degraded topology. Advisory: a
   // detour-induced CDG cycle is reported, not fatal (see RepairReport).
   if (report.degraded && options.deploy.requireDeadlockFree) {
+    span.phase("repair.deadlock_check");
     report.deadlockChecked = true;
     const routing::DeadlockReport dl = routing::analyzeDeadlock(topo, *degradedRouting);
     report.deadlockFree = dl.error.empty() && dl.deadlockFree;
   }
+  span.annotate("remapped_links", std::to_string(report.remappedLinks));
+  span.annotate("severed_links", std::to_string(report.severedLinks.size()));
+  span.annotate("flow_mods", std::to_string(report.flowMods()));
+  span.finish(report.degraded ? "degraded" : "ok");
   return report;
 }
 

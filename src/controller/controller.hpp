@@ -28,6 +28,8 @@
 
 #include "common/result.hpp"
 #include "common/retry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "openflow/of_switch.hpp"
 #include "projection/feasibility.hpp"
 #include "projection/link_projector.hpp"
@@ -160,9 +162,29 @@ struct RepairReport {
 
 class SdtController {
  public:
+  /// Optional observability sinks for the controller's operations. Pointees
+  /// must outlive the controller (or be detached with setObservability({})).
+  struct ObsContext {
+    obs::Registry* metrics = nullptr;
+    obs::Tracer* tracer = nullptr;
+    /// Timestamp source for span start times — normally the simulator clock
+    /// ([&sim] { return sim.now(); }). Null means spans start at t=0. The
+    /// controller's compile work is instantaneous in simulated time, so each
+    /// op span covers its *modeled* duration (reconfigTime / repairTime)
+    /// starting from this clock's reading, with one child span per phase.
+    std::function<TimeNs()> clock;
+  };
+
   explicit SdtController(projection::Plant plant) : plant_(std::move(plant)) {}
 
   [[nodiscard]] const projection::Plant& plant() const { return plant_; }
+
+  /// Attach (or detach, with a default-constructed context) metric/trace
+  /// sinks. Every deploy/reconfigure/planUpdate/repair afterwards emits a
+  /// root span named after the op with per-phase child spans, plus
+  /// sdt_controller_retry_attempts_total counters where retries happen.
+  void setObservability(ObsContext obs) { obs_ = std::move(obs); }
+  [[nodiscard]] const ObsContext& observability() const { return obs_; }
 
   /// Topology Customization, checking function: can every topology in the
   /// set be projected on this plant (one at a time)? Reports the resource
@@ -225,6 +247,7 @@ class SdtController {
 
  private:
   projection::Plant plant_;
+  ObsContext obs_;
 };
 
 }  // namespace sdt::controller

@@ -1,6 +1,9 @@
 #include "controller/monitor.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "common/log.hpp"
 
 namespace sdt::controller {
 
@@ -61,6 +64,33 @@ void NetworkMonitor::poll(topo::SwitchId sw, topo::PortId port, double gain) {
     bytes = net_->switchEgressBytes(sw, port);
   }
   ewma_[sw][port] = (1.0 - gain) * ewma_[sw][port] + gain * static_cast<double>(bytes);
+  if (!series_.empty() && series_[sw][port] != nullptr) {
+    series_[sw][port]->record(sim_->now(), ewma_[sw][port]);
+  }
+}
+
+void NetworkMonitor::attachMetrics(obs::Registry& registry,
+                                   std::size_t seriesCapacity) {
+  series_.resize(ewma_.size());
+  for (std::size_t sw = 0; sw < ewma_.size(); ++sw) {
+    series_[sw].assign(ewma_[sw].size(), nullptr);
+    for (std::size_t p = 0; p < ewma_[sw].size(); ++p) {
+      series_[sw][p] = &registry.series(
+          "sdt_monitor_queue_depth_bytes", seriesCapacity,
+          {{"sw", std::to_string(sw)}, {"port", std::to_string(p)}},
+          "Per-port egress queue depth EWMA sampled by the Network Monitor");
+    }
+  }
+  registry.addCollector([this, &registry]() {
+    registry
+        .counter("sdt_monitor_samples_total", {},
+                 "Telemetry sampling rounds completed")
+        .syncTo(samples_);
+    registry
+        .counter("sdt_monitor_oob_queries_total", {},
+                 "Out-of-range load()/oracle() queries (caller bugs)")
+        .syncTo(oobQueries_);
+  });
 }
 
 void NetworkMonitor::checkFailures() {
@@ -156,7 +186,20 @@ void NetworkMonitor::unguardSwitch(int sw) {
 }
 
 double NetworkMonitor::load(topo::SwitchId sw, topo::PortId port) const {
-  if (port < 0 || port >= static_cast<int>(ewma_[sw].size())) return 0.0;
+  // Full bounds check: the old port-only check made load(99, 0) on a
+  // 6-switch fabric undefined behavior (ewma_[99]), and load(0, 99) an
+  // indistinguishable silent 0.0.
+  if (sw < 0 || sw >= static_cast<int>(ewma_.size()) || port < 0 ||
+      port >= static_cast<int>(ewma_[sw].size())) {
+    ++oobQueries_;
+    if (!oobWarned_) {
+      oobWarned_ = true;
+      SDT_WARN << "monitor: out-of-range load query (sw=" << sw << " port="
+               << port << "); returning 0 and counting further ones in "
+                  "sdt_monitor_oob_queries_total";
+    }
+    return 0.0;
+  }
   return ewma_[sw][port];
 }
 

@@ -29,6 +29,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "projection/projection.hpp"
 #include "routing/adaptive.hpp"
 #include "sim/network.hpp"
@@ -98,13 +99,30 @@ class NetworkMonitor {
     return it != guards_.end() && it->second > 0;
   }
 
-  /// EWMA of queued bytes at logical (switch, port).
+  /// EWMA of queued bytes at logical (switch, port). An out-of-range
+  /// (sw, port) returns 0.0 — a defensible answer for a congestion oracle —
+  /// but is *diagnosed*: counted in oobQueries() (and the attached
+  /// registry's sdt_monitor_oob_queries_total) and warned on first
+  /// occurrence, instead of being silently indistinguishable from an idle
+  /// port.
   [[nodiscard]] double load(topo::SwitchId sw, topo::PortId port) const;
 
   /// Congestion oracle for routing::AdaptiveDragonflyRouting.
   [[nodiscard]] routing::CongestionOracle oracle() const;
 
   [[nodiscard]] std::uint64_t samplesTaken() const { return samples_; }
+
+  /// Out-of-range load()/oracle() queries observed (each one is a caller
+  /// bug: a stale switch id or a port beyond the radix).
+  [[nodiscard]] std::uint64_t oobQueries() const { return oobQueries_; }
+
+  /// Feed an obs registry: per-port queue-depth EWMA ring series
+  /// (sdt_monitor_queue_depth_bytes{sw,port}, one sample per poll, capacity
+  /// bounded at `seriesCapacity`), plus sdt_monitor_samples_total and
+  /// sdt_monitor_oob_queries_total synced at collect() time. The registry
+  /// must outlive the monitor's sampling (both normally live in the same
+  /// experiment scope).
+  void attachMetrics(obs::Registry& registry, std::size_t seriesCapacity = 256);
 
  private:
   /// Per-watched-port failure bookkeeping (keyed by polled-plane (sw,port)).
@@ -126,7 +144,12 @@ class NetworkMonitor {
   TimeNs period_ = 0;
   double gain_ = 0.3;
   std::vector<std::vector<double>> ewma_;  ///< [sw][port]
+  /// Mirrors ewma_ when metrics are attached (nullptr per cell otherwise):
+  /// resolved once at attach time so poll() never pays a registry lookup.
+  std::vector<std::vector<obs::RingSeries*>> series_;
   std::uint64_t samples_ = 0;
+  mutable std::uint64_t oobQueries_ = 0;
+  mutable bool oobWarned_ = false;
   bool running_ = false;
   std::uint64_t epoch_ = 0;  ///< bumped by start()/stop(); stale events no-op
 

@@ -183,24 +183,65 @@ RecoveryRun::RecoveryRun(sim::Simulator& sim, sim::ControlChannel& channel,
   report_.switches.resize(n);
 }
 
+void RecoveryRun::tracePhase(const char* name) {
+  if (options_.tracer == nullptr) return;
+  const TimeNs now = sim_->now();
+  if (spanPhase_ != obs::kNoSpan) options_.tracer->end(spanPhase_, now);
+  spanPhase_ = options_.tracer->begin(std::string("recover.") + name, now, spanRun_);
+}
+
+void RecoveryRun::traceFinish(const char* outcome) {
+  if (options_.tracer == nullptr) return;
+  const TimeNs now = sim_->now();
+  if (spanPhase_ != obs::kNoSpan) {
+    options_.tracer->end(spanPhase_, now);
+    spanPhase_ = obs::kNoSpan;
+  }
+  if (spanRun_ == obs::kNoSpan) return;
+  options_.tracer->annotate(spanRun_, "outcome", outcome);
+  options_.tracer->annotate(spanRun_, "stats_rounds",
+                            std::to_string(report_.statsRounds));
+  options_.tracer->annotate(spanRun_, "flow_mods", std::to_string(report_.flowMods));
+  options_.tracer->annotate(spanRun_, "retries",
+                            std::to_string(report_.retriesTotal));
+  if (!report_.failure.empty()) {
+    options_.tracer->annotate(spanRun_, "failure", report_.failure);
+  }
+  options_.tracer->end(spanRun_, now);
+  spanRun_ = obs::kNoSpan;
+}
+
 void RecoveryRun::start() {
   report_.startedAt = sim_->now();
+  if (options_.tracer != nullptr) {
+    spanRun_ = options_.tracer->begin("recover", report_.startedAt);
+    options_.tracer->annotate(spanRun_, "decision",
+                              recoveryDecisionName(plan_.decision));
+    options_.tracer->annotate(spanRun_, "topology", plan_.topology);
+    options_.tracer->annotate(spanRun_, "target_epoch",
+                              std::to_string(plan_.targetEpoch));
+    options_.tracer->annotate(spanRun_, "rules", std::to_string(plan_.totalEntries));
+  }
   if (options_.monitor != nullptr) {
     for (int sw = 0; sw < numSwitches(); ++sw) options_.monitor->guardSwitch(sw);
   }
   currentRound_ = Round::kReadback;
+  tracePhase("readback");
   for (int sw = 0; sw < numSwitches(); ++sw) startRound(sw, Round::kReadback, 1);
 }
 
 TimeNs RecoveryRun::backoffDelay(int sw, int attempt) {
+  // Same capped exponential as ReconfigTransaction::backoffDelay; the cap
+  // must be applied in double, before the cast (see the comment there).
   double wait = static_cast<double>(options_.retry.baseBackoff);
   for (int i = 1; i < attempt; ++i) wait *= options_.retry.backoffMultiplier;
   if (options_.retry.jitter > 0.0) {
     wait *= 1.0 - options_.retry.jitter *
                       backoffRng_[static_cast<std::size_t>(sw)].uniform();
   }
-  const auto capped = static_cast<TimeNs>(wait);
-  return std::min(capped, options_.retry.maxBackoff);
+  const double maxBackoff = static_cast<double>(options_.retry.maxBackoff);
+  if (!(wait < maxBackoff)) wait = maxBackoff;
+  return static_cast<TimeNs>(wait);
 }
 
 void RecoveryRun::startRound(int sw, Round round, int attempt) {
@@ -208,6 +249,14 @@ void RecoveryRun::startRound(int sw, Round round, int attempt) {
   if (attempt > 1) {
     ++report_.retriesTotal;
     ++report_.switches[static_cast<std::size_t>(sw)].retries;
+    if (options_.metrics != nullptr) {
+      options_.metrics
+          ->counter("sdt_controller_retry_attempts_total",
+                    {{"op", "recover"},
+                     {"phase", round == Round::kReadback ? "readback" : "converge"}},
+                    "Control-channel resends beyond the first attempt")
+          .inc();
+    }
   }
   const std::uint64_t gen = gen_;
   if (round == Round::kReadback) {
@@ -367,6 +416,7 @@ void RecoveryRun::beginConverge() {
   ++gen_;
   ++roundIndex_;
   currentRound_ = Round::kConverge;
+  tracePhase("converge");
   std::fill(roundComplete_.begin(), roundComplete_.end(), 0);
   roundAcks_ = 0;
   // Clean switches sit the round out (no message at all); completeSwitch is
@@ -391,6 +441,7 @@ void RecoveryRun::beginVerify() {
   ++gen_;
   ++roundIndex_;
   currentRound_ = Round::kReadback;
+  tracePhase("verify");
   std::fill(roundComplete_.begin(), roundComplete_.end(), 0);
   roundAcks_ = 0;
   for (int sw = 0; sw < numSwitches(); ++sw) startRound(sw, Round::kReadback, 1);
@@ -453,6 +504,7 @@ void RecoveryRun::finish() {
   finished_ = true;
   ++gen_;  // cancels every outstanding timer and in-flight handler
   report_.finishedAt = sim_->now();
+  traceFinish(report_.converged ? "converged" : "failed");
   if (options_.monitor != nullptr) {
     // Unguard reseeds the tx-counter baselines, so the converge burst's
     // stalled counters cannot read as a wedged transceiver afterwards.

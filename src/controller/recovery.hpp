@@ -47,6 +47,8 @@
 #include "common/rng.hpp"
 #include "controller/controller.hpp"
 #include "controller/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/control_channel.hpp"
 #include "sim/simulator.hpp"
 
@@ -119,6 +121,12 @@ struct RecoveryOptions {
   /// When set, a kRecovery record is appended after convergence so the next
   /// cold start sees the converged intent as live and no open transaction.
   Journal* journal = nullptr;
+  /// Observability (both optional, both must outlive the run): the tracer
+  /// gets a "recover" root span with one child per anti-entropy phase
+  /// (readback/converge/verify, repeating as rounds iterate), in simulated
+  /// time; the registry gets per-phase sdt_controller_retry_attempts_total.
+  obs::Tracer* tracer = nullptr;
+  obs::Registry* metrics = nullptr;
 };
 
 /// Per-switch recovery outcome (index == physical switch id).
@@ -233,6 +241,11 @@ class RecoveryRun {
   void finishSuccess();
   void finishFailure(const std::string& why);
   void finish();
+  /// Close the current phase span and open `name` under the root (no-op
+  /// without a tracer).
+  void tracePhase(const char* name);
+  /// Close both spans and stamp the root with the outcome.
+  void traceFinish(const char* outcome);
 
   sim::Simulator* sim_;
   sim::ControlChannel* channel_;
@@ -253,6 +266,8 @@ class RecoveryRun {
   std::vector<Rng> backoffRng_;
   int roundAcks_ = 0;
   bool firstReadback_ = true;  ///< drift accounting happens once
+  obs::SpanId spanRun_ = obs::kNoSpan;    ///< root span (tracer only)
+  obs::SpanId spanPhase_ = obs::kNoSpan;  ///< currently open phase child
 };
 
 /// Append the kDeploy intent record for a fresh deployment. deploy() itself

@@ -128,8 +128,51 @@ bool* ReconfigTransaction::appliedFlag(int sw, Round round) {
   return nullptr;
 }
 
+const char* ReconfigTransaction::roundName(Round round) {
+  switch (round) {
+    case Round::kInstall: return "install";
+    case Round::kBarrier: return "barrier";
+    case Round::kFlip: return "flip";
+    case Round::kGc: return "gc";
+    case Round::kRollback: return "rollback";
+  }
+  return "?";
+}
+
+void ReconfigTransaction::tracePhase(const char* name) {
+  if (options_.tracer == nullptr) return;
+  const TimeNs now = sim_->now();
+  if (spanPhase_ != obs::kNoSpan) options_.tracer->end(spanPhase_, now);
+  spanPhase_ = options_.tracer->begin(std::string("reconfigure.") + name, now, spanTx_);
+}
+
+void ReconfigTransaction::traceFinish(const char* outcome) {
+  if (options_.tracer == nullptr) return;
+  const TimeNs now = sim_->now();
+  if (spanPhase_ != obs::kNoSpan) {
+    options_.tracer->end(spanPhase_, now);
+    spanPhase_ = obs::kNoSpan;
+  }
+  if (spanTx_ == obs::kNoSpan) return;
+  options_.tracer->annotate(spanTx_, "outcome", outcome);
+  options_.tracer->annotate(spanTx_, "retries", std::to_string(report_.retriesTotal));
+  if (!report_.failure.empty()) {
+    options_.tracer->annotate(spanTx_, "failure", report_.failure);
+  }
+  options_.tracer->end(spanTx_, now);
+  spanTx_ = obs::kNoSpan;
+}
+
 void ReconfigTransaction::start() {
   report_.startedAt = sim_->now();
+  if (options_.tracer != nullptr) {
+    spanTx_ = options_.tracer->begin("reconfigure", report_.startedAt);
+    options_.tracer->annotate(spanTx_, "topology", plan_.topology);
+    options_.tracer->annotate(spanTx_, "from_epoch", std::to_string(plan_.fromEpoch));
+    options_.tracer->annotate(spanTx_, "to_epoch", std::to_string(plan_.toEpoch));
+    options_.tracer->annotate(spanTx_, "rules", std::to_string(plan_.totalEntries));
+  }
+  tracePhase("prepare");
   // WAL discipline: the prepare record hits the journal before the first
   // install leaves the controller, so any later crash finds an open
   // transaction with its full target intent.
@@ -138,6 +181,7 @@ void ReconfigTransaction::start() {
   phase_ = ReconfigPhase::kInstall;
   report_.phaseReached = ReconfigPhase::kInstall;
   currentRound_ = Round::kInstall;
+  tracePhase("install");
   if (options_.monitor != nullptr) {
     for (int sw = 0; sw < numSwitches(); ++sw) options_.monitor->guardSwitch(sw);
   }
@@ -146,15 +190,20 @@ void ReconfigTransaction::start() {
 
 TimeNs ReconfigTransaction::backoffDelay(int sw, int attempt) {
   // attempt is the one that just failed (1-based); mirror retryWithBackoff's
-  // capped exponential with deterministic jitter, but event-driven.
+  // capped exponential with deterministic jitter, but event-driven. The cap
+  // is applied in double, *before* the cast: commitAttempts is in the
+  // hundreds, the uncapped exponential exceeds 2^63 within ~64 attempts
+  // (eventually inf — well-defined for doubles), and casting such a value
+  // to TimeNs is undefined behavior.
   double wait = static_cast<double>(options_.retry.baseBackoff);
   for (int i = 1; i < attempt; ++i) wait *= options_.retry.backoffMultiplier;
   if (options_.retry.jitter > 0.0) {
     wait *= 1.0 - options_.retry.jitter *
                       backoffRng_[static_cast<std::size_t>(sw)].uniform();
   }
-  const auto capped = static_cast<TimeNs>(wait);
-  return std::min(capped, options_.retry.maxBackoff);
+  const double maxBackoff = static_cast<double>(options_.retry.maxBackoff);
+  if (!(wait < maxBackoff)) wait = maxBackoff;
+  return static_cast<TimeNs>(wait);
 }
 
 void ReconfigTransaction::startRound(int sw, Round round, int attempt) {
@@ -162,6 +211,13 @@ void ReconfigTransaction::startRound(int sw, Round round, int attempt) {
   if (attempt > 1) {
     ++report_.retriesTotal;
     ++acked_[static_cast<std::size_t>(sw)].retries;
+    if (options_.metrics != nullptr) {
+      options_.metrics
+          ->counter("sdt_controller_retry_attempts_total",
+                    {{"op", "reconfigure"}, {"phase", roundName(round)}},
+                    "Control-channel resends beyond the first attempt")
+          .inc();
+    }
   }
   // Request travels to the switch; every delivered copy re-sends the ack
   // (the *apply* is idempotent, the ack is not — a lost ack must be
@@ -300,6 +356,7 @@ void ReconfigTransaction::advancePhase() {
       phase_ = ReconfigPhase::kBarrier;
       report_.phaseReached = ReconfigPhase::kBarrier;
       currentRound_ = Round::kBarrier;
+      tracePhase("barrier");
       for (int sw = 0; sw < numSwitches(); ++sw) startRound(sw, Round::kBarrier, 1);
       break;
     case Round::kBarrier:
@@ -313,12 +370,14 @@ void ReconfigTransaction::advancePhase() {
       phase_ = ReconfigPhase::kFlip;
       report_.phaseReached = ReconfigPhase::kFlip;
       currentRound_ = Round::kFlip;
+      tracePhase("flip");
       for (int sw = 0; sw < numSwitches(); ++sw) startRound(sw, Round::kFlip, 1);
       break;
     case Round::kFlip: {
       report_.updateWindowEnd = sim_->now();
       phase_ = ReconfigPhase::kDrain;
       report_.phaseReached = ReconfigPhase::kDrain;
+      tracePhase("drain");
       const std::uint64_t gen = gen_;
       sim_->schedule(options_.drainDelay, [this, gen]() {
         if (!finished_ && gen == gen_) beginGc();
@@ -344,6 +403,7 @@ void ReconfigTransaction::beginGc() {
   phase_ = ReconfigPhase::kGc;
   report_.phaseReached = ReconfigPhase::kGc;
   currentRound_ = Round::kGc;
+  tracePhase("gc");
   std::fill(roundComplete_.begin(), roundComplete_.end(), 0);
   roundAcks_ = 0;
   for (int sw = 0; sw < numSwitches(); ++sw) startRound(sw, Round::kGc, 1);
@@ -361,6 +421,7 @@ void ReconfigTransaction::abort(ReconfigPhase at, const std::string& why) {
   std::fill(roundComplete_.begin(), roundComplete_.end(), 0);
   roundAcks_ = 0;
   currentRound_ = Round::kRollback;
+  tracePhase("rollback");
   for (int sw = 0; sw < numSwitches(); ++sw) startRound(sw, Round::kRollback, 1);
 }
 
@@ -391,7 +452,9 @@ bool ReconfigTransaction::maybeCrash(CrashPoint point) {
   report_.switches = acked_;
   // No journal record, no monitor unguard, no done callback: a killed
   // process runs no cleanup. The guards the transaction took stay in place
-  // until recovery re-takes and releases them.
+  // until recovery re-takes and releases them. The trace, though, is the
+  // *observer's* record, not the dead controller's — it closes out.
+  traceFinish("crashed");
   if (options_.onCrash) options_.onCrash();
   return true;
 }
@@ -433,6 +496,7 @@ void ReconfigTransaction::finish() {
     for (int sw = 0; sw < numSwitches(); ++sw) options_.monitor->unguardSwitch(sw);
   }
   report_.switches = acked_;
+  traceFinish(report_.committed ? "committed" : "rolled_back");
   if (done_) done_(report_);
 }
 

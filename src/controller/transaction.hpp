@@ -50,6 +50,8 @@
 #include "common/retry.hpp"
 #include "common/rng.hpp"
 #include "controller/controller.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/control_channel.hpp"
 #include "sim/simulator.hpp"
 
@@ -115,6 +117,13 @@ struct ReconfigOptions {
   /// Called at the instant of an injected crash (after the fence is up),
   /// e.g. for a test to record the crash time or stop traffic.
   std::function<void()> onCrash;
+  /// Observability (both optional, both must outlive the transaction): the
+  /// tracer gets a "reconfigure" root span with one child span per phase
+  /// actually entered (install/barrier/flip/drain/gc — or rollback), all in
+  /// simulated time; the registry gets per-phase
+  /// sdt_controller_retry_attempts_total counters.
+  obs::Tracer* tracer = nullptr;
+  obs::Registry* metrics = nullptr;
 };
 
 /// Per-switch protocol outcome (index == physical switch id).
@@ -214,6 +223,12 @@ class ReconfigTransaction {
   bool maybeCrash(CrashPoint point);
   [[nodiscard]] bool* ackedFlag(int sw, Round round);
   [[nodiscard]] bool* appliedFlag(int sw, Round round);
+  [[nodiscard]] static const char* roundName(Round round);
+  /// Close the current phase span and open `name` under the root (no-op
+  /// without a tracer).
+  void tracePhase(const char* name);
+  /// Close both spans and stamp the root with the outcome.
+  void traceFinish(const char* outcome);
 
   sim::Simulator* sim_;
   sim::ControlChannel* channel_;
@@ -236,6 +251,8 @@ class ReconfigTransaction {
   std::vector<char> roundComplete_;     ///< per-switch, reset each phase
   std::vector<Rng> backoffRng_;         ///< deterministic jitter per switch
   int roundAcks_ = 0;  ///< switches done with the current global phase
+  obs::SpanId spanTx_ = obs::kNoSpan;     ///< root span (tracer only)
+  obs::SpanId spanPhase_ = obs::kNoSpan;  ///< currently open phase child
 };
 
 }  // namespace sdt::controller

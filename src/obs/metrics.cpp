@@ -1,0 +1,185 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sdt::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::logic_error("Histogram bounds must be ascending");
+  }
+  buckets_ = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) {
+  // First bucket whose upper bound admits v; past-the-end = +Inf bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucketCounts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+std::vector<double> latencyBucketsNs() {
+  return {1e3,  5e3,  1e4,  5e4,  1e5,  5e5,  1e6,
+          5e6,  1e7,  5e7,  1e8};  // 1us .. 100ms
+}
+
+RingSeries::RingSeries(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void RingSeries::record(TimeNs at, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.emplace_back(at, value);
+  } else {
+    ring_[recorded_ % capacity_] = {at, value};
+  }
+  ++recorded_;
+}
+
+std::vector<std::pair<TimeNs, double>> RingSeries::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<TimeNs, double>> out;
+  out.reserve(ring_.size());
+  if (recorded_ <= capacity_) {
+    out = ring_;
+  } else {
+    const std::size_t head = recorded_ % capacity_;  // oldest sample
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(head + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t RingSeries::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::uint64_t RingSeries::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ > capacity_ ? recorded_ - capacity_ : 0;
+}
+
+const char* instrumentKindName(InstrumentKind kind) {
+  switch (kind) {
+    case InstrumentKind::kCounter: return "counter";
+    case InstrumentKind::kGauge: return "gauge";
+    case InstrumentKind::kHistogram: return "histogram";
+    case InstrumentKind::kSeries: return "series";
+  }
+  return "?";
+}
+
+std::string labelKey(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (const auto& [k, v] : sorted) {
+    if (!key.empty()) key += ',';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+Family::Cell& Registry::cell(const std::string& name, InstrumentKind kind,
+                             const Labels& labels, const std::string& help,
+                             std::vector<double> bounds, std::size_t seriesCapacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [fit, created] = families_.try_emplace(name);
+  Family& family = fit->second;
+  if (created) {
+    family.kind = kind;
+    family.help = help;
+    family.bounds = std::move(bounds);
+    family.seriesCapacity = seriesCapacity;
+  } else if (family.kind != kind) {
+    throw std::logic_error("metric family '" + name + "' already registered as " +
+                           instrumentKindName(family.kind));
+  }
+  auto [cit, fresh] = family.cells.try_emplace(labelKey(labels));
+  Family::Cell& c = cit->second;
+  if (fresh) {
+    c.labels = labels;
+    std::sort(c.labels.begin(), c.labels.end());
+    switch (kind) {
+      case InstrumentKind::kCounter: c.counter = std::make_unique<Counter>(); break;
+      case InstrumentKind::kGauge: c.gauge = std::make_unique<Gauge>(); break;
+      case InstrumentKind::kHistogram:
+        c.histogram = std::make_unique<Histogram>(family.bounds);
+        break;
+      case InstrumentKind::kSeries:
+        c.series = std::make_unique<RingSeries>(family.seriesCapacity);
+        break;
+    }
+  }
+  return c;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels,
+                           const std::string& help) {
+  return *cell(name, InstrumentKind::kCounter, labels, help, {}, 0).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels,
+                       const std::string& help) {
+  return *cell(name, InstrumentKind::kGauge, labels, help, {}, 0).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds,
+                               const Labels& labels, const std::string& help) {
+  return *cell(name, InstrumentKind::kHistogram, labels, help, std::move(bounds), 0)
+              .histogram;
+}
+
+RingSeries& Registry::series(const std::string& name, std::size_t capacity,
+                             const Labels& labels, const std::string& help) {
+  return *cell(name, InstrumentKind::kSeries, labels, help, {}, capacity).series;
+}
+
+void Registry::addCollector(std::function<void()> collector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(collector));
+}
+
+void Registry::collect() const {
+  // Copy the hooks out so a collector may itself create instruments
+  // (get-or-create re-enters the mutex).
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hooks = collectors_;
+  }
+  for (const auto& hook : hooks) hook();
+}
+
+void Registry::visit(
+    const std::function<void(const std::string& name, const Family&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, family] : families_) fn(name, family);
+}
+
+std::size_t Registry::familyCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return families_.size();
+}
+
+}  // namespace sdt::obs

@@ -1,0 +1,39 @@
+#include "obs/trace.hpp"
+
+namespace sdt::obs {
+
+SpanId Tracer::begin(const std::string& name, TimeNs at, SpanId parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.name = name;
+  span.parent = parent < spans_.size() ? parent : kNoSpan;
+  span.start = at;
+  span.end = at;
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+void Tracer::end(SpanId id, TimeNs at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= spans_.size() || spans_[id].closed) return;
+  spans_[id].end = at;
+  spans_[id].closed = true;
+}
+
+void Tracer::annotate(SpanId id, const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= spans_.size()) return;
+  spans_[id].attrs.emplace_back(key, value);
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+}  // namespace sdt::obs

@@ -1,0 +1,68 @@
+// Span tracer for controller operations.
+//
+// A span is a named interval of *simulated* time with an optional parent:
+// a deploy, a two-phase reconfiguration, one of its phases
+// (prepare/install/barrier/flip/drain/gc), a repair, a recovery round.
+// Controller operations are event-driven — a phase starts in one callback
+// and ends in another — so spans are begun and ended explicitly by id
+// rather than by RAII scope.
+//
+// Timestamps come from whoever begins/ends the span (the simulator clock or
+// the controller's modeled-time accounting), never from a wall clock, so a
+// trace is as reproducible as the run that produced it. Span ids are
+// indices into an append-only vector: child spans recorded after their
+// parents, stable export order for free.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace sdt::obs {
+
+/// Index into the tracer's span vector. 0 is a valid id; use kNoSpan for
+/// "no parent".
+using SpanId = std::size_t;
+inline constexpr SpanId kNoSpan = static_cast<SpanId>(-1);
+
+struct Span {
+  std::string name;
+  SpanId parent = kNoSpan;
+  TimeNs start = 0;
+  TimeNs end = 0;
+  bool closed = false;
+  /// Free-form annotations ("rules", "attempts", "outcome"...), in the
+  /// order they were added.
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  [[nodiscard]] TimeNs duration() const { return closed ? end - start : 0; }
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Open a span at simulated time `at`.
+  SpanId begin(const std::string& name, TimeNs at, SpanId parent = kNoSpan);
+  /// Close a span. Closing an already-closed or out-of-range id is a no-op
+  /// (an aborted operation may race its own cleanup path to the close).
+  void end(SpanId id, TimeNs at);
+  /// Annotate an open or closed span.
+  void annotate(SpanId id, const std::string& key, const std::string& value);
+
+  [[nodiscard]] std::size_t size() const;
+  /// Snapshot of all spans in creation order.
+  [[nodiscard]] std::vector<Span> spans() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+};
+
+}  // namespace sdt::obs

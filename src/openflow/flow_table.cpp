@@ -50,6 +50,7 @@ Status<Error> FlowTable::add(FlowEntry entry) {
   });
   entries_.insert(pos, std::move(entry));
   indexDirty_ = true;
+  ++addsTotal_;
   return {};
 }
 
@@ -60,6 +61,7 @@ std::size_t FlowTable::removeByCookie(std::uint64_t cookie) {
   const auto removed = static_cast<std::size_t>(entries_.end() - it);
   entries_.erase(it, entries_.end());
   indexDirty_ = indexDirty_ || removed > 0;
+  removesTotal_ += removed;
   return removed;
 }
 
@@ -70,6 +72,7 @@ std::size_t FlowTable::removeByEpoch(std::uint32_t epoch) {
   const auto removed = static_cast<std::size_t>(entries_.end() - it);
   entries_.erase(it, entries_.end());
   indexDirty_ = indexDirty_ || removed > 0;
+  removesTotal_ += removed;
   return removed;
 }
 
@@ -80,6 +83,7 @@ std::size_t FlowTable::restampEpoch(std::uint32_t epoch) {
     e.cookie = makeCookie(epoch, cookieTag(e.cookie));
     ++changed;
   }
+  restampsTotal_ += changed;
   return changed;
 }
 
@@ -97,10 +101,12 @@ bool FlowTable::removeExact(const FlowEntry& entry) {
   if (it == entries_.end()) return false;
   entries_.erase(it);
   indexDirty_ = true;
+  ++removesTotal_;
   return true;
 }
 
 void FlowTable::clear() {
+  removesTotal_ += entries_.size();
   entries_.clear();
   indexDirty_ = true;
 }

@@ -174,6 +174,13 @@ class FlowTable {
 
   [[nodiscard]] const std::vector<FlowEntry>& entries() const { return entries_; }
 
+  // Cumulative mutation totals (flow-mod accounting for the obs layer).
+  // Unlike the entries themselves these survive clear()/reboot: they count
+  // operations applied over the table's lifetime, not current state.
+  [[nodiscard]] std::uint64_t addsTotal() const { return addsTotal_; }
+  [[nodiscard]] std::uint64_t removesTotal() const { return removesTotal_; }
+  [[nodiscard]] std::uint64_t restampsTotal() const { return restampsTotal_; }
+
  private:
   static constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
 
@@ -185,6 +192,9 @@ class FlowTable {
 
   std::size_t capacity_;
   std::vector<FlowEntry> entries_;  // kept sorted by descending priority
+  std::uint64_t addsTotal_ = 0;
+  std::uint64_t removesTotal_ = 0;
+  std::uint64_t restampsTotal_ = 0;
 
   // Lazily maintained lookup index: positions (ascending == match-preference
   // order) of entries with concrete (inPort, dstAddr), bucketed by that key;

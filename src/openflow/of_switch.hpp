@@ -91,10 +91,17 @@ class Switch {
   /// carries a transfer id and the switch refuses re-application. Returns
   /// true the first time an xid is seen (caller should apply), false on a
   /// duplicate (caller should only re-ack).
-  bool acceptXid(std::uint64_t xid) { return xidsSeen_.insert(xid).second; }
+  bool acceptXid(std::uint64_t xid) {
+    const bool fresh = xidsSeen_.insert(xid).second;
+    if (!fresh) ++xidDupHits_;
+    return fresh;
+  }
   [[nodiscard]] bool seenXid(std::uint64_t xid) const {
     return xidsSeen_.count(xid) > 0;
   }
+  /// How many duplicate bundles the dedup refused — the visible footprint
+  /// of the control channel's at-least-once delivery.
+  [[nodiscard]] std::uint64_t xidDupHits() const { return xidDupHits_; }
 
   /// Flow-stats readback over the control channel (crash recovery):
   /// snapshot the table and ingress configuration as of now.
@@ -112,6 +119,7 @@ class Switch {
     ingressEpoch_ = 0;
     barriersSeen_ = 0;
     xidsSeen_.clear();
+    xidDupHits_ = 0;
     resetStats();
   }
 
@@ -125,6 +133,7 @@ class Switch {
   std::vector<PortStats> portStats_;
   std::uint32_t ingressEpoch_ = 0;
   std::uint64_t barriersSeen_ = 0;
+  std::uint64_t xidDupHits_ = 0;
   std::unordered_set<std::uint64_t> xidsSeen_;
 };
 

@@ -50,6 +50,11 @@ struct ControlChannelStats {
   std::uint64_t disconnected = 0;  ///< eaten by a disconnect window
   std::uint64_t duplicated = 0;
   std::uint64_t reordered = 0;
+  /// Delay accounting over every *scheduled* delivery (duplicate copies
+  /// included, dropped/disconnected sends excluded): the observable latency
+  /// profile of the management network.
+  std::uint64_t delayNsTotal = 0;
+  TimeNs delayMaxNs = 0;
 };
 
 class ControlChannel {
@@ -103,11 +108,13 @@ class ControlChannel {
     }
     if (dupDraw < config_.dupProb) {
       ++stats_.duplicated;
+      recordDelay(delay + config_.dupSpacing);
       sim_->schedule(delay + config_.dupSpacing, [this, deliver]() {
         ++stats_.delivered;
         deliver();
       });
     }
+    recordDelay(delay);
     sim_->schedule(delay, [this, deliver = std::move(deliver)]() {
       ++stats_.delivered;
       deliver();
@@ -117,6 +124,11 @@ class ControlChannel {
   [[nodiscard]] const ControlChannelStats& stats() const { return stats_; }
 
  private:
+  void recordDelay(TimeNs delay) {
+    stats_.delayNsTotal += static_cast<std::uint64_t>(delay);
+    if (delay > stats_.delayMaxNs) stats_.delayMaxNs = delay;
+  }
+
   struct Window {
     int sw = -1;
     TimeNs from = 0;

@@ -1,10 +1,12 @@
-// Unit tests: common utilities (units, Result, RNG, strings, JSON).
+// Unit tests: common utilities (units, Result, RNG, retry, strings, JSON).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "common/json.hpp"
 #include "common/result.hpp"
+#include "common/retry.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/units.hpp"
@@ -95,6 +97,93 @@ TEST(Rng, ShuffleIsPermutation) {
   rng.shuffle(v);
   std::set<int> s(v.begin(), v.end());
   EXPECT_EQ(s.size(), 8u);
+}
+
+TEST(Rng, BetweenCoversSmallRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t x = rng.between(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+// Regression: `hi - lo + 1` in signed arithmetic overflows (UB) for the
+// full-width span. The width must be computed in uint64_t, where the span
+// wraps to 0 and every raw 64-bit draw is a valid result.
+TEST(Rng, BetweenFullInt64RangeIsDefined) {
+  Rng rng(7);
+  constexpr std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+  bool sawNegative = false;
+  bool sawPositive = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::int64_t x = rng.between(lo, hi);
+    sawNegative = sawNegative || x < 0;
+    sawPositive = sawPositive || x > 0;
+  }
+  // 64 raw draws land on both halves of the range with near certainty.
+  EXPECT_TRUE(sawNegative);
+  EXPECT_TRUE(sawPositive);
+  // Spans over 2^63 but short of full width also must not overflow.
+  const std::int64_t y = rng.between(lo, hi - 1);
+  EXPECT_LE(y, hi - 1);
+}
+
+TEST(Retry, SucceedsWithoutBackoffOnFirstTry) {
+  retry::RetryPolicy policy;
+  const auto r = retry::retryWithBackoff(policy, 0, [](int) { return true; });
+  EXPECT_TRUE(r.succeeded);
+  EXPECT_EQ(r.attempts, 1);
+  EXPECT_EQ(r.elapsed, 0);
+}
+
+// Regression: backoff grew unclamped as a double (`backoff *= multiplier`
+// every attempt), exceeding 2^63 within ~64 attempts; casting that to
+// TimeNs is UB. With the clamp, 64 exhausted attempts stay bounded by
+// maxAttempts * (attemptTimeout + maxBackoff).
+TEST(Retry, SixtyFourAttemptsStayClamped) {
+  retry::RetryPolicy policy;
+  policy.maxAttempts = 64;
+  policy.jitter = 0.0;  // deterministic: every wait is the clamped backoff
+  retry::RetryCounters counters;
+  const auto r = retry::retryWithBackoff(policy, 1, [](int) { return false; },
+                                         &counters);
+  EXPECT_FALSE(r.succeeded);
+  EXPECT_EQ(r.attempts, 64);
+  const TimeNs bound = 64 * (policy.attemptTimeout + policy.maxBackoff);
+  EXPECT_GT(r.elapsed, 0);
+  EXPECT_LE(r.elapsed, bound);
+  EXPECT_EQ(counters.attempts, 64u);
+  EXPECT_EQ(counters.retries, 63u);  // the last failure does not wait
+  EXPECT_EQ(counters.exhausted, 1u);
+  EXPECT_LE(counters.backoffNs,
+            static_cast<std::uint64_t>(63 * policy.maxBackoff));
+}
+
+TEST(Retry, CountersAccumulateAcrossExchanges) {
+  retry::RetryPolicy policy;
+  policy.maxAttempts = 3;
+  retry::RetryCounters counters;
+  // First exchange succeeds on attempt 2, second exhausts all 3.
+  retry::retryWithBackoff(policy, 0, [](int i) { return i == 2; }, &counters);
+  retry::retryWithBackoff(policy, 1, [](int) { return false; }, &counters);
+  EXPECT_EQ(counters.attempts, 5u);
+  EXPECT_EQ(counters.retries, 3u);
+  EXPECT_EQ(counters.exhausted, 1u);
+}
+
+TEST(Retry, DeterministicAcrossRuns) {
+  retry::RetryPolicy policy;
+  policy.maxAttempts = 6;
+  const auto a = retry::retryWithBackoff(policy, 42, [](int) { return false; });
+  const auto b = retry::retryWithBackoff(policy, 42, [](int) { return false; });
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  const auto c = retry::retryWithBackoff(policy, 43, [](int) { return false; });
+  EXPECT_NE(a.elapsed, c.elapsed);  // stream id decorrelates jitter
 }
 
 TEST(Strings, Split) {

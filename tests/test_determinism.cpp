@@ -11,6 +11,10 @@
 #include "controller/journal.hpp"
 #include "controller/recovery.hpp"
 #include "controller/transaction.hpp"
+#include "obs/collectors.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/shortest_path.hpp"
 #include "sim/builder.hpp"
 #include "sim/consistency.hpp"
@@ -383,6 +387,85 @@ TEST(Determinism, CrashRecoveryBitIdenticalSerialVsThreaded) {
     anyDiffer = anyDiffer || serial[i].journalHash != serial[0].journalHash;
   }
   EXPECT_TRUE(anyDiffer);
+}
+
+/// One fully instrumented live update: registry fed by the data-plane and
+/// switch collectors plus the transaction's own push-side counters, tracer
+/// recording the transaction's span tree. Returns the exported bytes — the
+/// observability layer itself must be a pure function of the seed.
+std::string runObservedPoint(std::uint64_t seed) {
+  const topo::Topology from = topo::makeLine(6);
+  const topo::Topology to = topo::makeRing(6);
+  const routing::ShortestPathRouting rFrom(from);
+  const routing::ShortestPathRouting rTo(to);
+  auto plantR = projection::planPlant({&from, &to}, {.numSwitches = 2});
+  EXPECT_TRUE(plantR.ok());
+  const projection::Plant plant = std::move(plantR).value();
+  controller::SdtController ctl(plant);
+  auto depR = ctl.deploy(from, rFrom);
+  EXPECT_TRUE(depR.ok());
+  controller::Deployment dep = std::move(depR).value();
+
+  sim::Simulator sim;
+  sim::BuiltNetwork built = sim::buildProjectedNetwork(
+      sim, from, dep.projection, plant, dep.switches, {}, {2.0, 1.0}, nullptr);
+  sim::TransportManager tm(sim, *built.net, {});
+
+  sim::ControlChannelConfig cfg;
+  cfg.dropProb = 0.25;
+  cfg.dupProb = 0.15;
+  sim::ControlChannel channel(sim, seed, cfg);
+
+  obs::Registry registry;
+  obs::Tracer tracer;
+  obs::registerNetworkCollector(registry, *built.net);
+  obs::registerControlChannelCollector(registry, channel);
+  obs::registerSwitchCollector(registry, built.ofSwitches);
+
+  controller::DeployOptions dopt;
+  dopt.requireDeadlockFree = false;
+  auto planR = ctl.planUpdate(dep, to, rTo, dopt);
+  EXPECT_TRUE(planR.ok());
+  controller::ReconfigOptions topt;
+  topt.metrics = &registry;
+  topt.tracer = &tracer;
+  controller::ReconfigTransaction tx(sim, channel, dep, std::move(planR).value(),
+                                     topt);
+  const int hosts = from.numHosts();
+  for (int h = 0; h < hosts; ++h) {
+    tm.startTcpFlow(h, (h + hosts / 2) % hosts, 64 * 1024, nullptr);
+  }
+  sim.schedule(usToNs(100.0), [&]() { tx.start(); });
+  sim.runUntil(msToNs(80.0));
+  EXPECT_TRUE(tx.finished());
+
+  return obs::metricsToJson(registry).dump(2) + "\n" +
+         obs::tracerToJson(tracer).dump(2);
+}
+
+TEST(Determinism, ExportedTelemetryBitIdenticalSerialVsThreaded) {
+  const std::vector<std::uint64_t> seeds{11, 22, 33, 44};
+
+  std::vector<std::string> serial;
+  serial.reserve(seeds.size());
+  for (const std::uint64_t s : seeds) serial.push_back(runObservedPoint(s));
+
+  const SweepRunner sweep(4);
+  const std::vector<std::string> threaded = sweep.run(
+      seeds.size(), [&](std::size_t i) { return runObservedPoint(seeds[i]); });
+
+  ASSERT_EQ(threaded.size(), serial.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(threaded[i], serial[i])
+        << "telemetry for seed " << seeds[i] << " diverged under threads";
+    // The export must actually carry telemetry, not vacuous empty objects.
+    EXPECT_NE(serial[i].find("sdt_net_tx_bytes_total"), std::string::npos);
+    EXPECT_NE(serial[i].find("sdt_ctrl_msgs_total"), std::string::npos);
+    EXPECT_NE(serial[i].find("sdt_of_flow_mods_total"), std::string::npos);
+    EXPECT_NE(serial[i].find("\"reconfigure\""), std::string::npos);
+  }
+  // Different channel seeds must leave different telemetry somewhere.
+  EXPECT_NE(serial[0], serial[1]);
 }
 
 TEST(Determinism, SerialAndParallelRunnersAgree) {

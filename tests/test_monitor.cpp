@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "controller/monitor.hpp"
+#include "obs/metrics.hpp"
 #include "routing/shortest_path.hpp"
 #include "sim/builder.hpp"
 #include "sim/transport.hpp"
@@ -75,13 +76,30 @@ TEST(Monitor, RestartDoesNotDoubleChain) {
   EXPECT_LE(after, 10u);  // a doubled chain would take ~20
 }
 
-TEST(Monitor, OutOfRangePortIsZero) {
+// Regression: an out-of-range load() used to return 0.0 silently —
+// indistinguishable from a genuinely idle port. It still returns 0.0 (the
+// adaptive-routing oracle must stay total) but every such query is now
+// counted, and the counter is visible through an attached registry.
+TEST(Monitor, OutOfRangeQueriesAreCounted) {
   sim::Simulator sim;
   const topo::Topology topo = topo::makeLine(2);
   routing::ShortestPathRouting routing(topo);
   auto built = sim::buildLogicalNetwork(sim, topo, routing, {});
   NetworkMonitor monitor(sim, *built.net, topo);
-  EXPECT_DOUBLE_EQ(monitor.load(0, 99), 0.0);
+  obs::Registry registry;
+  monitor.attachMetrics(registry);
+
+  EXPECT_EQ(monitor.oobQueries(), 0u);
+  EXPECT_DOUBLE_EQ(monitor.load(0, 99), 0.0);  // bad port
+  EXPECT_EQ(monitor.oobQueries(), 1u);
+  EXPECT_DOUBLE_EQ(monitor.load(99, 0), 0.0);  // bad switch
+  EXPECT_EQ(monitor.oobQueries(), 2u);
+  // In-range queries do not count.
+  (void)monitor.load(0, 0);
+  EXPECT_EQ(monitor.oobQueries(), 2u);
+
+  registry.collect();
+  EXPECT_EQ(registry.counter("sdt_monitor_oob_queries_total").value(), 2u);
 }
 
 }  // namespace

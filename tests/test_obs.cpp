@@ -1,0 +1,257 @@
+// Observability layer: registry instruments, label canonicalization,
+// collectors, span tracer, and byte-determinism of both exporters.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+using namespace sdt;
+using namespace sdt::obs;
+
+TEST(Counter, IncAndSyncToAreMonotonic) {
+  Registry reg;
+  Counter& c = reg.counter("sdt_test_total");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  // syncTo adopts a larger snapshot...
+  c.syncTo(100);
+  EXPECT_EQ(c.value(), 100u);
+  // ...but never regresses below what it already saw.
+  c.syncTo(7);
+  EXPECT_EQ(c.value(), 100u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Registry reg;
+  Gauge& g = reg.gauge("sdt_test_gauge");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.add(-5.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(Histogram, BucketsAreNonCumulativeWithOverflow) {
+  Registry reg;
+  Histogram& h = reg.histogram("sdt_test_hist", {10.0, 100.0, 1000.0});
+  // One per bucket, plus one past the last bound.
+  h.observe(5.0);     // <= 10
+  h.observe(10.0);    // <= 10 (boundary lands in its bucket)
+  h.observe(50.0);    // <= 100
+  h.observe(999.0);   // <= 1000
+  h.observe(5000.0);  // +Inf overflow
+  const std::vector<std::uint64_t> counts = h.bucketCounts();
+  ASSERT_EQ(counts.size(), 4u);  // bounds + 1 overflow
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0 + 10.0 + 50.0 + 999.0 + 5000.0);
+}
+
+TEST(Histogram, LatencyBucketsCoverMicrosecondsToMilliseconds) {
+  const std::vector<double> b = latencyBucketsNs();
+  ASSERT_FALSE(b.empty());
+  // Strictly increasing, spanning at least 1us .. 100ms.
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+  EXPECT_LE(b.front(), 1e3);
+  EXPECT_GE(b.back(), 1e8);
+}
+
+TEST(RingSeries, WrapsKeepingNewestSamples) {
+  Registry reg;
+  RingSeries& s = reg.series("sdt_test_series", 4);
+  EXPECT_EQ(s.capacity(), 4u);
+  for (int i = 0; i < 7; ++i) {
+    s.record(static_cast<TimeNs>(i * 1000), static_cast<double>(i));
+  }
+  EXPECT_EQ(s.recorded(), 7u);
+  EXPECT_EQ(s.dropped(), 3u);
+  const auto samples = s.samples();
+  ASSERT_EQ(samples.size(), 4u);
+  // Oldest -> newest, the last `capacity` records survive.
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].first, static_cast<TimeNs>((i + 3) * 1000));
+    EXPECT_DOUBLE_EQ(samples[i].second, static_cast<double>(i + 3));
+  }
+}
+
+TEST(Registry, LabelOrderDoesNotSplitCells) {
+  Registry reg;
+  Counter& a = reg.counter("sdt_labeled_total", {{"sw", "0"}, {"port", "1"}});
+  Counter& b = reg.counter("sdt_labeled_total", {{"port", "1"}, {"sw", "0"}});
+  EXPECT_EQ(&a, &b);  // canonicalized to the same cell
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(labelKey({{"sw", "0"}, {"port", "1"}}), "port=1,sw=0");
+}
+
+TEST(Registry, KindMismatchThrows) {
+  Registry reg;
+  reg.counter("sdt_shape_total");
+  EXPECT_THROW(reg.gauge("sdt_shape_total"), std::logic_error);
+  EXPECT_THROW(reg.histogram("sdt_shape_total", {1.0}), std::logic_error);
+  EXPECT_THROW(reg.series("sdt_shape_total", 8), std::logic_error);
+}
+
+TEST(Registry, CollectorsRunAtCollectTime) {
+  Registry reg;
+  std::uint64_t source = 0;
+  reg.addCollector([&reg, &source]() {
+    reg.counter("sdt_pulled_total").syncTo(source);
+  });
+  source = 17;
+  reg.collect();
+  EXPECT_EQ(reg.counter("sdt_pulled_total").value(), 17u);
+  source = 25;
+  reg.collect();
+  EXPECT_EQ(reg.counter("sdt_pulled_total").value(), 25u);
+}
+
+TEST(Registry, ConcurrentIncrementsAreLossless) {
+  Registry reg;
+  Counter& c = reg.counter("sdt_racy_total");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c]() {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Tracer, SpansNestAndAnnotate) {
+  Tracer tracer;
+  const SpanId root = tracer.begin("deploy", 100);
+  const SpanId child = tracer.begin("deploy.install", 150, root);
+  tracer.annotate(child, "rules", "12");
+  tracer.end(child, 400);
+  tracer.annotate(root, "outcome", "ok");
+  tracer.end(root, 500);
+
+  const std::vector<Span> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "deploy");
+  EXPECT_EQ(spans[0].parent, kNoSpan);
+  EXPECT_TRUE(spans[0].closed);
+  EXPECT_EQ(spans[0].duration(), 400);
+  EXPECT_EQ(spans[1].name, "deploy.install");
+  EXPECT_EQ(spans[1].parent, root);
+  EXPECT_EQ(spans[1].duration(), 250);
+  ASSERT_EQ(spans[1].attrs.size(), 1u);
+  EXPECT_EQ(spans[1].attrs[0].first, "rules");
+  EXPECT_EQ(spans[1].attrs[0].second, "12");
+}
+
+TEST(Tracer, DoubleEndAndBadIdsAreHarmless) {
+  Tracer tracer;
+  const SpanId id = tracer.begin("op", 0);
+  tracer.end(id, 10);
+  tracer.end(id, 99);  // second close ignored
+  tracer.end(12345, 1);  // out of range ignored
+  tracer.annotate(9999, "k", "v");  // out of range ignored
+  const std::vector<Span> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].end, 10);
+  // An open span reports zero duration until closed.
+  Tracer t2;
+  const SpanId open = t2.begin("open", 5);
+  EXPECT_EQ(t2.spans()[open].duration(), 0);
+}
+
+namespace {
+
+/// Populate a registry with a representative mix of instruments. `reversed`
+/// flips the creation order — the export must not care.
+void populate(Registry& reg, bool reversed) {
+  const auto counters = [&reg]() {
+    reg.counter("sdt_z_total", {{"sw", "1"}}).inc(5);
+    reg.counter("sdt_z_total", {{"sw", "0"}}).inc(3);
+  };
+  const auto rest = [&reg]() {
+    reg.gauge("sdt_a_gauge").set(1.5);
+    Histogram& h = reg.histogram("sdt_m_hist", {10.0, 100.0});
+    h.observe(7.0);
+    h.observe(70.0);
+    h.observe(700.0);
+    RingSeries& s = reg.series("sdt_q_series", 4, {{"port", "2"}});
+    s.record(1000, 0.5);
+    s.record(2000, 1.5);
+  };
+  if (reversed) {
+    rest();
+    counters();
+  } else {
+    counters();
+    rest();
+  }
+}
+
+}  // namespace
+
+TEST(Export, JsonAndPrometheusAreCreationOrderInvariant) {
+  Registry a;
+  Registry b;
+  populate(a, /*reversed=*/false);
+  populate(b, /*reversed=*/true);
+  EXPECT_EQ(metricsToJson(a).dump(2), metricsToJson(b).dump(2));
+  EXPECT_EQ(metricsToPrometheus(a), metricsToPrometheus(b));
+}
+
+TEST(Export, JsonShapeCarriesKindAndValues) {
+  Registry reg;
+  populate(reg, false);
+  const json::Value v = metricsToJson(reg);
+  const std::string text = v.dump(2);
+  EXPECT_NE(text.find("\"sdt_z_total\""), std::string::npos);
+  EXPECT_NE(text.find("\"counter\""), std::string::npos);
+  EXPECT_NE(text.find("\"gauge\""), std::string::npos);
+  EXPECT_NE(text.find("\"histogram\""), std::string::npos);
+  EXPECT_NE(text.find("\"series\""), std::string::npos);
+  EXPECT_NE(text.find("+Inf"), std::string::npos);
+}
+
+TEST(Export, PrometheusHistogramIsCumulative) {
+  Registry reg;
+  Histogram& h = reg.histogram("sdt_cum_hist", {10.0, 100.0});
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(500.0);
+  const std::string text = metricsToPrometheus(reg);
+  // Cumulative convention: le="10" sees 1, le="100" sees 2, le="+Inf" 3.
+  EXPECT_NE(text.find("sdt_cum_hist_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("sdt_cum_hist_bucket{le=\"100\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("sdt_cum_hist_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("sdt_cum_hist_count 3"), std::string::npos);
+}
+
+TEST(Export, TracerJsonPreservesOrderAndAttrs) {
+  Tracer tracer;
+  const SpanId root = tracer.begin("reconfigure", 10);
+  const SpanId phase = tracer.begin("reconfigure.install", 20, root);
+  tracer.annotate(phase, "attempt", "1");
+  tracer.annotate(phase, "attempt", "2");  // keys may repeat
+  tracer.end(phase, 30);
+  tracer.end(root, 40);
+  const std::string text = tracerToJson(tracer).dump(2);
+  EXPECT_NE(text.find("\"reconfigure\""), std::string::npos);
+  EXPECT_NE(text.find("\"reconfigure.install\""), std::string::npos);
+  const auto first = text.find("\"attempt\"");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(text.find("\"attempt\"", first + 1), std::string::npos);
+}
