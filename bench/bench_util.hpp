@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -55,6 +56,13 @@ class JsonReport {
   bool write() const {
     const std::string path = "BENCH_" + name_ + ".json";
     json::Object root = root_;
+    // Engine geometry + hardware context: every report records the shard
+    // count the run used (SDT_SHARDS) and the machine's thread budget, so
+    // numbers from different PRs/machines are comparable at a glance.
+    root["shards"] = static_cast<std::int64_t>(sim::Simulator::envShards());
+    root["sim_workers"] = static_cast<std::int64_t>(sim::Simulator::envWorkers());
+    root["hw_threads"] =
+        static_cast<std::int64_t>(std::thread::hardware_concurrency());
     root["metrics"] = obs::metricsToJson(metrics_);  // {} when nothing attached
     const std::string text = json::Value(std::move(root)).dump(2);
     std::FILE* f = std::fopen(path.c_str(), "w");

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -53,6 +54,10 @@ class EpochConsistencyChecker {
   /// epoch); ignored when `matched` is false.
   void onLookup(std::uint64_t packetId, int sw, bool matched,
                 std::uint32_t ruleEpoch) {
+    // Forwarders on different shards call in concurrently during parallel
+    // runs; the checker is a cross-cutting observer, so it serializes here
+    // rather than forcing the data plane onto one shard.
+    const std::lock_guard<std::mutex> lock(mu_);
     ++lookups_;
     Track& t = tracks_[packetId];
     if (!matched) {
@@ -94,6 +99,7 @@ class EpochConsistencyChecker {
     std::uint32_t matchedHops = 0;
   };
 
+  std::mutex mu_;
   std::unordered_map<std::uint64_t, Track> tracks_;
   std::vector<Violation> violations_;
   std::uint64_t lookups_ = 0;

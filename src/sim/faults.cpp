@@ -22,12 +22,20 @@ const char* faultKindName(FaultKind kind) {
 FaultInjector::FaultInjector(Simulator& sim, Network& net, std::uint64_t seed)
     : sim_(&sim), net_(&net), controlRng_(seed ^ 0xC0A70CC5ULL) {
   net_->seedFaultRng(seed);
+  // Cable cuts flip both ends of a link, which may live on different
+  // shards; pin the engine to the serial merge loop.
+  sim_->requireSerial();
 }
 
 void FaultInjector::arm() {
   for (; armed_ < schedule_.size(); ++armed_) {
     const FaultSpec spec = schedule_[armed_];
-    sim_->scheduleAt(spec.at, [this, spec]() { apply(spec); });
+    // Fire on the shard that owns the faulted switch so the port mutation is
+    // shard-local. Cable cuts also flip the peer end, which may live on
+    // another shard — the constructor's requireSerial() guarantees no worker
+    // threads run while an injector is wired.
+    const int shard = spec.sw >= 0 ? net_->switchShard(spec.sw) : 0;
+    sim_->scheduleAtOn(shard, spec.at, [this, spec]() { apply(spec); });
   }
 }
 

@@ -19,7 +19,7 @@ std::uint64_t rdmaFlowId(int src, int dst, int vc) {
 
 TransportManager::TransportManager(Simulator& sim, Network& net, TransportConfig config)
     : sim_(&sim), net_(&net), config_(config) {
-  rdmaDelivered_.assign(static_cast<std::size_t>(net.numHosts()), 0);
+  lanes_.resize(static_cast<std::size_t>(net.numHosts()));
   for (int h = 0; h < net.numHosts(); ++h) {
     net_->setReceiver(h, [this, h](const Packet& p) { onHostPacket(h, p); });
   }
@@ -41,11 +41,14 @@ void TransportManager::onHostPacket(int host, const Packet& packet) {
         onTcpData(it->second, packet);
       }
       break;
-    case PacketKind::kCnp:
-      if (auto it = rdmaFlows_.find(packet.flowId); it != rdmaFlows_.end()) {
+    case PacketKind::kCnp: {
+      // A CNP is delivered to the data sender, whose lane owns the flow.
+      auto& flows = lanes_[static_cast<std::size_t>(host)].rdmaFlows;
+      if (auto it = flows.find(packet.flowId); it != flows.end()) {
         onCnp(it->second);
       }
       break;
+    }
     case PacketKind::kAck:
       if (auto it = tcpFlows_.find(packet.flowId); it != tcpFlows_.end()) {
         onTcpAck(it->second, packet);
@@ -61,8 +64,9 @@ void TransportManager::onHostPacket(int host, const Packet& packet) {
 
 TransportManager::RdmaFlow& TransportManager::rdmaFlowFor(int src, int dst, int vc) {
   const std::uint64_t id = rdmaFlowId(src, dst, vc);
-  auto it = rdmaFlows_.find(id);
-  if (it == rdmaFlows_.end()) {
+  auto& flows = lanes_[static_cast<std::size_t>(src)].rdmaFlows;
+  auto it = flows.find(id);
+  if (it == flows.end()) {
     RdmaFlow flow;
     flow.flowId = id;
     flow.src = src;
@@ -70,7 +74,7 @@ TransportManager::RdmaFlow& TransportManager::rdmaFlowFor(int src, int dst, int 
     flow.vc = vc;
     flow.rateGbps = net_->hostLinkSpeed(src).value;
     flow.targetGbps = flow.rateGbps;
-    it = rdmaFlows_.emplace(id, std::move(flow)).first;
+    it = flows.emplace(id, std::move(flow)).first;
   }
   return it->second;
 }
@@ -80,13 +84,35 @@ std::uint64_t TransportManager::sendMessage(int src, int dst, std::int64_t bytes
   assert(bytes > 0);
   assert(src != dst && "loopback messages never touch the fabric");
   RdmaFlow& flow = rdmaFlowFor(src, dst, vc);
-  const std::uint64_t id = nextMessageId_++;
+  HostLane& srcLane = lanes_[static_cast<std::size_t>(src)];
+  const std::uint64_t id = hostTaggedId(src, srcLane.nextMessageId++);
   flow.sendQueue.push_back(RdmaPending{id, bytes, 0});
-  rdmaRecv_[{flow.flowId, id}] = RdmaRecvState{};
-  rdmaMsgState_[id] = RdmaMsgState{bytes, std::move(onDelivered)};
+  // Receiver-side completion state lives on the destination lane. When the
+  // destination is on another shard, registration travels as a padded
+  // cross-shard event; the first data packet needs strictly longer than one
+  // lookahead to reach the destination (NIC latency + the padded fabric
+  // hop), so registration always lands first. The branch depends only on
+  // the shard map, so serial-K and parallel-K schedule identical events, and
+  // K==1 keeps the legacy direct write.
+  const int dstShard = net_->hostShard(dst);
+  if (sim_->numShards() == 1 || dstShard == net_->hostShard(src)) {
+    HostLane& dstLane = lanes_[static_cast<std::size_t>(dst)];
+    dstLane.rdmaRecv[{flow.flowId, id}] = RdmaRecvState{};
+    dstLane.rdmaMsgState[id] = RdmaMsgState{bytes, std::move(onDelivered)};
+  } else {
+    sim_->scheduleOn(dstShard, sim_->crossDelay(dstShard, 0),
+                     [this, fid = flow.flowId, id, dst, bytes,
+                      cb = std::move(onDelivered)]() mutable {
+      HostLane& dstLane = lanes_[static_cast<std::size_t>(dst)];
+      dstLane.rdmaRecv[{fid, id}] = RdmaRecvState{};
+      dstLane.rdmaMsgState[id] = RdmaMsgState{bytes, std::move(cb)};
+    });
+  }
   if (!flow.pumping) {
     flow.pumping = true;
-    sim_->schedule(0, [this, fid = flow.flowId]() { rdmaPump(rdmaFlows_.at(fid)); });
+    sim_->schedule(0, [this, src, fid = flow.flowId]() {
+      rdmaPump(lanes_[static_cast<std::size_t>(src)].rdmaFlows.at(fid));
+    });
   }
   return id;
 }
@@ -101,19 +127,22 @@ void TransportManager::rdmaPump(RdmaFlow& flow) {
   // short and retry once the backlog should have drained.
   if (net_->hostQueueBytes(flow.src) > config_.nicBackpressureBytes) {
     const Time retry = Gbps{hostLineRateGbps_}.serializationNs(config_.nicBackpressureBytes);
-    sim_->schedule(std::max<Time>(retry, 500), [this, fid = flow.flowId]() {
-      rdmaPump(rdmaFlows_.at(fid));
+    sim_->schedule(std::max<Time>(retry, 500), [this, src = flow.src, fid = flow.flowId]() {
+      rdmaPump(lanes_[static_cast<std::size_t>(src)].rdmaFlows.at(fid));
     });
     return;
   }
   if (now < flow.nextSendAt) {
     sim_->schedule(flow.nextSendAt - now,
-                   [this, fid = flow.flowId]() { rdmaPump(rdmaFlows_.at(fid)); });
+                   [this, src = flow.src, fid = flow.flowId]() {
+                     rdmaPump(lanes_[static_cast<std::size_t>(src)].rdmaFlows.at(fid));
+                   });
     return;
   }
   RdmaPending& msg = flow.sendQueue.front();
+  HostLane& srcLane = lanes_[static_cast<std::size_t>(flow.src)];
   Packet pkt;
-  pkt.id = nextPacketId_++;
+  pkt.id = hostTaggedId(flow.src, srcLane.nextPacketId++);
   pkt.flowId = flow.flowId;
   pkt.srcHost = flow.src;
   pkt.dstHost = flow.dst;
@@ -131,25 +160,28 @@ void TransportManager::rdmaPump(RdmaFlow& flow) {
   // Pace at the DCQCN current rate.
   flow.nextSendAt = std::max(now, flow.nextSendAt) + Gbps{flow.rateGbps}.serializationNs(wire);
   sim_->schedule(std::max<Time>(0, flow.nextSendAt - now),
-                 [this, fid = flow.flowId]() { rdmaPump(rdmaFlows_.at(fid)); });
+                 [this, src = flow.src, fid = flow.flowId]() {
+                   rdmaPump(lanes_[static_cast<std::size_t>(src)].rdmaFlows.at(fid));
+                 });
 }
 
 void TransportManager::onRdmaData(const Packet& packet) {
+  HostLane& lane = lanes_[static_cast<std::size_t>(packet.dstHost)];
   const auto key = std::pair{packet.flowId, packet.messageId};
-  const auto it = rdmaRecv_.find(key);
-  if (it == rdmaRecv_.end()) return;  // stray (e.g. isolation-test cross-talk)
+  const auto it = lane.rdmaRecv.find(key);
+  if (it == lane.rdmaRecv.end()) return;  // stray (e.g. isolation-test cross-talk)
   it->second.receivedBytes += packet.payloadBytes;
-  rdmaDelivered_[packet.dstHost] += packet.payloadBytes;
+  lane.rdmaDelivered += packet.payloadBytes;
 
   // DCQCN notification point: echo congestion back to the sender, at most
   // one CNP per cnpInterval per flow.
   if (packet.ecnMarked && config_.dcqcn.enabled) {
     const Time now = sim_->now();
-    Time& last = cnpLastSent_[packet.flowId];
+    Time& last = lane.cnpLastSent[packet.flowId];
     if (last == 0 || now - last >= config_.dcqcn.cnpInterval) {
       last = now;
       Packet cnp;
-      cnp.id = nextPacketId_++;
+      cnp.id = hostTaggedId(packet.dstHost, lane.nextPacketId++);
       cnp.flowId = packet.flowId;
       cnp.srcHost = packet.dstHost;
       cnp.dstHost = packet.srcHost;
@@ -157,17 +189,17 @@ void TransportManager::onRdmaData(const Packet& packet) {
       cnp.vc = kControlClass;
       cnp.payloadBytes = 0;
       net_->injectFromHost(packet.dstHost, std::move(cnp));
-      ++cnpsSent_;
+      ++lane.cnpsSent;
     }
   }
 
   // Message completion.
-  const auto msgIt = rdmaMsgState_.find(packet.messageId);
-  if (msgIt == rdmaMsgState_.end()) return;
+  const auto msgIt = lane.rdmaMsgState.find(packet.messageId);
+  if (msgIt == lane.rdmaMsgState.end()) return;
   if (it->second.receivedBytes >= msgIt->second.bytes) {
     auto cb = std::move(msgIt->second.onDelivered);
-    rdmaMsgState_.erase(msgIt);
-    rdmaRecv_.erase(it);
+    lane.rdmaMsgState.erase(msgIt);
+    lane.rdmaRecv.erase(it);
     if (cb) cb(packet.messageId, sim_->now());
   }
 }
@@ -188,8 +220,9 @@ void TransportManager::onCnp(RdmaFlow& flow) {
 }
 
 void TransportManager::rdmaTimer(std::uint64_t flowId) {
-  auto it = rdmaFlows_.find(flowId);
-  if (it == rdmaFlows_.end()) return;
+  auto& flows = lanes_[static_cast<std::size_t>(rdmaFlowSrc(flowId))].rdmaFlows;
+  auto it = flows.find(flowId);
+  if (it == flows.end()) return;
   RdmaFlow& flow = it->second;
   const DcqcnConfig& dc = config_.dcqcn;
   const double lineRate = net_->hostLinkSpeed(flow.src).value;
@@ -235,7 +268,13 @@ std::int64_t TransportManager::tcpDeliveredBytes(std::uint64_t flowId) const {
 }
 
 std::int64_t TransportManager::rdmaDeliveredBytes(int host) const {
-  return rdmaDelivered_[host];
+  return lanes_[static_cast<std::size_t>(host)].rdmaDelivered;
+}
+
+std::uint64_t TransportManager::cnpsSent() const {
+  std::uint64_t sum = 0;
+  for (const HostLane& lane : lanes_) sum += lane.cnpsSent;
+  return sum;
 }
 
 Time TransportManager::tcpRto(const TcpFlow& flow) const {
@@ -269,9 +308,10 @@ void TransportManager::tcpPump(TcpFlow& flow) {
   const std::int64_t dataEnd =
       flow.totalBytes < 0 ? std::numeric_limits<std::int64_t>::max() : flow.totalBytes;
   bool sent = false;
+  HostLane& srcLane = lanes_[static_cast<std::size_t>(flow.src)];
   while (flow.nextSeq < std::min(windowEnd, dataEnd)) {
     Packet pkt;
-    pkt.id = nextPacketId_++;
+    pkt.id = hostTaggedId(flow.src, srcLane.nextPacketId++);
     pkt.flowId = flow.flowId;
     pkt.srcHost = flow.src;
     pkt.dstHost = flow.dst;
@@ -296,7 +336,7 @@ void TransportManager::onTcpData(TcpFlow& flow, const Packet& packet) {
     flow.deliveredBytes += packet.payloadBytes;
   }
   Packet ack;
-  ack.id = nextPacketId_++;
+  ack.id = hostTaggedId(flow.dst, lanes_[static_cast<std::size_t>(flow.dst)].nextPacketId++);
   ack.flowId = flow.flowId;
   ack.srcHost = flow.dst;
   ack.dstHost = flow.src;

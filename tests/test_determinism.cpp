@@ -7,6 +7,11 @@
 // times, event counts, and per-port counters.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <functional>
+#include <optional>
+#include <string>
+
 #include "controller/controller.hpp"
 #include "controller/journal.hpp"
 #include "controller/recovery.hpp"
@@ -110,6 +115,120 @@ TEST(Determinism, SweepRunnerMatchesSerialBitForBit) {
   // Distinct configurations must actually differ — otherwise the equality
   // above proves nothing.
   EXPECT_NE(serial[0], serial[3]);
+}
+
+/// Scoped SDT_SHARDS / SDT_SIM_WORKERS override: the default Simulator
+/// constructor reads both at construction time, so everything built inside
+/// the guard's lifetime runs on the requested engine geometry. Ambient
+/// values (e.g. a CI shard matrix exporting SDT_SHARDS) are restored on
+/// exit so the rest of the suite keeps its configured geometry.
+class ShardEnvGuard {
+ public:
+  struct Unset {};  ///< tag: force the no-env legacy default
+
+  ShardEnvGuard(int shards, int workers) {
+    setenv("SDT_SHARDS", std::to_string(shards).c_str(), 1);
+    setenv("SDT_SIM_WORKERS", std::to_string(workers).c_str(), 1);
+  }
+  explicit ShardEnvGuard(Unset) {
+    unsetenv("SDT_SHARDS");
+    unsetenv("SDT_SIM_WORKERS");
+  }
+  ~ShardEnvGuard() {
+    restore("SDT_SHARDS", savedShards_);
+    restore("SDT_SIM_WORKERS", savedWorkers_);
+  }
+  ShardEnvGuard(const ShardEnvGuard&) = delete;
+  ShardEnvGuard& operator=(const ShardEnvGuard&) = delete;
+
+ private:
+  static std::optional<std::string> snapshot(const char* name) {
+    const char* v = std::getenv(name);
+    return v == nullptr ? std::nullopt : std::optional<std::string>(v);
+  }
+  static void restore(const char* name, const std::optional<std::string>& v) {
+    if (v.has_value()) {
+      setenv(name, v->c_str(), 1);
+    } else {
+      unsetenv(name);
+    }
+  }
+
+  std::optional<std::string> savedShards_ = snapshot("SDT_SHARDS");
+  std::optional<std::string> savedWorkers_ = snapshot("SDT_SIM_WORKERS");
+};
+
+TEST(ShardedDeterminism, OneShardMatchesLegacySerialPath) {
+  // Explicit K=1 must be byte-identical to the no-env legacy engine: with
+  // one shard the key layout, arena, and run loop collapse to the legacy
+  // serial path exactly.
+  Fingerprint base;
+  {
+    const ShardEnvGuard env(ShardEnvGuard::Unset{});
+    base = runPoint(16 * 1024);
+  }
+  Fingerprint one;
+  {
+    const ShardEnvGuard env(1, 1);
+    one = runPoint(16 * 1024);
+  }
+  EXPECT_EQ(one, base);
+  EXPECT_GT(base.events, 0u);
+}
+
+TEST(ShardedDeterminism, ParallelBitIdenticalToSerialAtSameK) {
+  // The acceptance gate: at fixed shard count K, a K-worker parallel run
+  // must be bit-identical to the 1-worker serial merge over the same
+  // shards. (Fingerprints are NOT comparable across different K: crossDelay
+  // pads shard-boundary latencies, which legitimately shifts timing.)
+  for (const int k : {2, 4, 8}) {
+    Fingerprint serial;
+    Fingerprint parallel;
+    {
+      const ShardEnvGuard env(k, 1);
+      serial = runPoint(16 * 1024);
+    }
+    {
+      const ShardEnvGuard env(k, k);
+      parallel = runPoint(16 * 1024);
+    }
+    EXPECT_EQ(parallel, serial) << "K=" << k << " parallel diverged from serial";
+    EXPECT_GT(serial.events, 0u);
+    EXPECT_GT(serial.act, 0);
+  }
+}
+
+TEST(ShardedDeterminism, ShardedRunsAreRepeatable) {
+  // Two identical sharded parallel runs must also be bit-identical to each
+  // other (no hidden wall-clock or thread-id dependence).
+  const auto once = []() {
+    const ShardEnvGuard env(4, 4);
+    return runPoint(8 * 1024);
+  };
+  const Fingerprint a = once();
+  const Fingerprint b = once();
+  EXPECT_EQ(a, b);
+}
+
+TEST(ShardedDeterminism, ControlPlanePinsEngineSerial) {
+  // Wiring a ControlChannel (any control-plane component) must permanently
+  // disable the worker threads: controller handlers mutate flow tables on
+  // arbitrary shards, so a parallel window would race. The K-shard key
+  // space is unchanged — only the threads go away.
+  sim::Simulator sim(4, 4);
+  EXPECT_FALSE(sim.serialRequired());
+  const sim::ControlChannel channel(sim, 42);
+  EXPECT_TRUE(sim.serialRequired());
+  int hops = 0;
+  std::function<void(int)> hop = [&](int shard) {
+    if (++hops >= 32) return;
+    const int next = (shard + 1) % 4;
+    sim.scheduleOn(next, sim.crossDelay(next, 1000), [&, next]() { hop(next); });
+  };
+  sim.scheduleOn(0, 0, [&]() { hop(0); });
+  sim.run();
+  EXPECT_EQ(hops, 32);
+  EXPECT_EQ(sim.barrierWindows(), 0u);  // serial merge loop, no windows
 }
 
 TEST(Determinism, SweepRunnerPropagatesExceptions) {
