@@ -7,7 +7,8 @@
 //   sdtctl deploy   <config.json>             project + compile flow tables
 //   sdtctl run      <config.json> [workload]  deploy and run a workload
 //                                             (pingpong | alltoall | hpcg |
-//                                              hpl | minighost | minife)
+//                                              hpl | minighost | minife |
+//                                              incast | partagg)
 //   sdtctl feas     <config.json>             Table II feasibility per method
 //   sdtctl recover  <from.json> <to.json>     crash-recovery demo: deploy the
 //                                             first topology, start a live
@@ -58,6 +59,7 @@
 #include "sim/control_channel.hpp"
 #include "testbed/evaluator.hpp"
 #include "workloads/apps.hpp"
+#include "workloads/datacenter.hpp"
 
 using namespace sdt;
 
@@ -247,6 +249,13 @@ int cmdRun(const controller::ExperimentConfig& config, const CliOptions& opt,
     w = workloads::miniGhost(ranks);
   } else if (workloadName == "minife") {
     w = workloads::miniFe(ranks);
+  } else if (workloadName == "incast") {
+    // Sized so each synchronized round (ranks-1 flows) brushes the lossy
+    // 256 KiB edge-queue cap without overflowing it: the demo completes,
+    // the queue spike is still visible in `sdtctl stats`.
+    w = workloads::incast(ranks, 8 * 1024, 8);
+  } else if (workloadName == "partagg") {
+    w = workloads::partitionAggregate(ranks, 2 * 1024, 16 * 1024, 8);
   } else {
     std::fprintf(stderr, "unknown workload: %s\n", workloadName.c_str());
     return 2;

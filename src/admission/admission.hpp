@@ -1,0 +1,195 @@
+// Overload-robust admission control: per-host credits fed by switch queue
+// depths, utility-weighted priority classes, and SLO-aware load shedding.
+//
+// The SDT plant faithfully reproduces a fabric's behavior *below* saturation;
+// past it, an open-loop workload (incast, flash crowd) simply piles bytes
+// into lossy queues until goodput collapses — DCQCN alone cannot save an
+// open-loop source that keeps injecting new flows. This layer is the missing
+// edge brake (ROADMAP item 4): a backpressure signal derived from switch
+// egress occupancy throttles each host's *injection* of new flows, so that
+// offered load beyond capacity is absorbed as deferred/shed flows at the
+// edge instead of as queue collapse in the core.
+//
+// Mechanism, end to end:
+//   1. Per-shard samplers read the egress occupancy of the switches their
+//      shard owns every `sampleInterval` and reduce it to a fill fraction
+//      (max queue bytes / queueHighWatermarkBytes).
+//   2. Samples flow to a broker homed on shard 0, which folds them into one
+//      global *pressure* value (max over shards) and broadcasts it back —
+//      both legs travel as lookahead-padded events, so the signal path is
+//      exactly as deterministic as the data plane.
+//   3. Each host owns a credit bucket refilled at
+//      lineRate x rateFraction(pressure): full rate while the fabric is
+//      calm, throttled linearly toward `creditRateFractionFloor` as
+//      pressure approaches 1.0. A flow of B bytes at priority class c
+//      charges B / utilityWeight(c) credits — higher-utility classes buy
+//      more bytes per credit (utility-based admission, Kreutz et al. §V).
+//   4. Above a per-class pressure threshold the class is shed outright
+//      (SLO-aware: bronze gives up long before gold), and a flow that
+//      cannot afford its charge is deferred for the caller to retry.
+//
+// Shard-safety/determinism contract: request() must be called from the
+// source host's owning shard (workload drivers already run flow starts
+// there); every piece of mutable state — buckets, per-shard pressure copy,
+// decision counters — is touched only from its owning shard's event
+// context, so serial and K-worker parallel runs of the same K are
+// bit-identical. Merged statistics are computed at read time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/units.hpp"
+#include "obs/metrics.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace sdt::admission {
+
+/// Priority classes, highest utility first. Values index Policy::classes.
+enum class Priority : std::uint8_t { kGold = 0, kSilver = 1, kBronze = 2 };
+inline constexpr int kNumPriorities = 3;
+
+const char* priorityName(Priority cls);
+
+[[nodiscard]] constexpr int priorityIndex(Priority cls) {
+  return static_cast<int>(cls);
+}
+
+/// Per-class admission knobs.
+struct ClassPolicy {
+  /// Credits charged for a flow = bytes / utilityWeight: a weight-4 class
+  /// buys 4x the bytes per credit of a weight-1 class.
+  double utilityWeight = 1.0;
+  /// Completion-latency SLO for the class (workload drivers score against
+  /// it; admission sheds to protect it).
+  TimeNs sloNs = msToNs(10.0);
+  /// Shed (reject outright) flows of this class once global pressure
+  /// reaches this level. > 1.0 effectively disables shedding for the class.
+  double shedAtPressure = 1.0;
+};
+
+struct Policy {
+  /// Defaults: gold = latency-critical RPC (never shed until far past
+  /// saturation), silver = normal serving traffic, bronze = batch/background
+  /// (first against the wall).
+  std::array<ClassPolicy, kNumPriorities> classes{
+      ClassPolicy{4.0, msToNs(2.0), 1.5},
+      ClassPolicy{2.0, msToNs(10.0), 0.9},
+      ClassPolicy{1.0, msToNs(50.0), 0.6},
+  };
+  /// Queue-depth sampling period per shard.
+  TimeNs sampleInterval = usToNs(100.0);
+  /// Egress occupancy that counts as pressure 1.0. Sits below the lossy
+  /// drop cap so admission reacts before the fabric starts dropping.
+  std::int64_t queueHighWatermarkBytes = 128 * kKiB;
+  /// Pressure below which hosts refill at full line rate.
+  double pressureLowWater = 0.25;
+  /// EWMA weight the broker gives each new global sample: the broadcast
+  /// pressure is smoothed = alpha * sample + (1 - alpha) * smoothed. A
+  /// synchronized incast round fills a queue for a few microseconds and
+  /// drains; without smoothing one unlucky sample reads as sustained
+  /// overload and sheds traffic a healthy fabric could carry. 1.0 disables
+  /// smoothing (raw samples).
+  double pressureSmoothing = 0.35;
+  /// Refill-rate fraction reached at pressure 1.0 (never throttle to zero:
+  /// a trickle keeps gold traffic moving and the signal loop alive).
+  double creditRateFractionFloor = 0.05;
+  /// Bucket capacity (burst allowance) in credit units (~bytes at weight 1).
+  std::int64_t creditBurstBytes = 64 * kKiB;
+  /// Modeled propagation of a pressure signal leg (sampler->broker and
+  /// broker->shard). Padded up to the engine lookahead when crossing shards.
+  TimeNs signalDelay = usToNs(1.0);
+  /// Suggested retry spacing for deferred flows (drivers own the retry loop).
+  TimeNs deferDelay = usToNs(50.0);
+  /// Defers before a driver should give up and count the flow shed.
+  int maxDefers = 4;
+  /// Master switch: disabled => every request admits (the baseline arm of
+  /// bench_overload).
+  bool enabled = true;
+
+  [[nodiscard]] StatusOr validate() const;
+};
+
+enum class Decision : std::uint8_t { kAdmit = 0, kDefer = 1, kShed = 2 };
+
+const char* decisionName(Decision d);
+
+class AdmissionController {
+ public:
+  /// The network must already be wired and partitioned (builder does both).
+  AdmissionController(sim::Simulator& sim, sim::Network& net, Policy policy = {});
+
+  /// Replace the policy. Call before start() / outside a run (the
+  /// controller distributes policies between runs, not mid-window).
+  void setPolicy(const Policy& policy) { policy_ = policy; }
+  [[nodiscard]] const Policy& policy() const { return policy_; }
+
+  /// Wire decision counters, pressure gauges, and queue-fill histograms
+  /// into `registry` (per-shard labels: every cell is written by exactly
+  /// one shard, keeping parallel exports bit-identical). Call before
+  /// start().
+  void attachMetrics(obs::Registry& registry);
+
+  /// Arm the per-shard pressure samplers; they self-stop once the next
+  /// sample would land past `until`. Call before Simulator::run().
+  void start(TimeNs until);
+
+  /// Ask to inject a flow of `bytes` at priority `cls` from `srcHost`.
+  /// Must run in the source host's shard context (assert-checked).
+  Decision request(int srcHost, Priority cls, std::int64_t bytes);
+
+  /// Pressure as seen by the current shard (workloads/tests introspection).
+  [[nodiscard]] double pressure() const;
+
+  // -- Merged statistics (read post-run or from a serial context) -----------
+  struct ClassCounters {
+    std::uint64_t requested = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t deferred = 0;
+    std::uint64_t shed = 0;
+    std::int64_t admittedBytes = 0;
+    std::int64_t shedBytes = 0;
+  };
+  [[nodiscard]] ClassCounters classCounters(Priority cls) const;
+  /// Queue samples taken across all shards.
+  [[nodiscard]] std::uint64_t samplesTaken() const;
+  /// Highest global pressure the broker ever computed.
+  [[nodiscard]] double peakPressure() const { return peakPressure_; }
+
+ private:
+  /// Mutable state owned by one shard; alignment keeps parallel shard
+  /// threads off each other's cache lines.
+  struct alignas(64) ShardLane {
+    double pressure = 0.0;  ///< latest broadcast global pressure
+    std::array<ClassCounters, kNumPriorities> counters{};
+    std::uint64_t samples = 0;
+    // Obs cells (pre-created in attachMetrics; null when not attached).
+    obs::Gauge* pressureGauge = nullptr;
+    obs::Histogram* fillHist = nullptr;
+    std::array<std::array<obs::Counter*, 3>, kNumPriorities> decisionCtr{};
+  };
+
+  struct HostBucket {
+    double credits = 0.0;
+    TimeNs settledAt = 0;
+  };
+
+  [[nodiscard]] double rateFraction(double pressure) const;
+  void settle(HostBucket& bucket, double pressure, int host);
+  void sampleShard(int shard, TimeNs until);
+  void brokerUpdate(int shard, double fill);  ///< runs on shard 0
+
+  sim::Simulator* sim_;
+  sim::Network* net_;
+  Policy policy_;
+  std::vector<ShardLane> lanes_;          ///< one per shard
+  std::vector<HostBucket> buckets_;       ///< one per host (owner-shard access)
+  std::vector<double> brokerShardFill_;   ///< broker state: shard 0 only
+  double smoothedPressure_ = 0.0;         ///< broker state: shard 0 only
+  double peakPressure_ = 0.0;             ///< broker state: shard 0 only
+};
+
+}  // namespace sdt::admission

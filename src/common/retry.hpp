@@ -35,6 +35,11 @@ struct RetryResult {
   bool succeeded = false;
   int attempts = 0;     ///< attempts actually made (>= 1 unless maxAttempts < 1)
   TimeNs elapsed = 0;   ///< modeled time: failed-attempt timeouts + backoffs
+  /// True when the policy allowed zero attempts (maxAttempts < 1): nothing
+  /// ran, so `succeeded == false` means "never tried", not "tried and
+  /// failed". Callers treating failure as "switch unreachable" must check
+  /// this before acting on a result that never touched the network.
+  bool neverAttempted = false;
 };
 
 /// Aggregate retry accounting across many exchanges. Dependency-free so
@@ -56,6 +61,14 @@ RetryResult retryWithBackoff(const RetryPolicy& policy, std::uint64_t streamId,
                              AttemptFn&& attempt,
                              RetryCounters* counters = nullptr) {
   RetryResult result;
+  if (policy.maxAttempts < 1) {
+    // Degenerate policy: no attempt budget at all. Make the "nothing ran"
+    // outcome explicit (and count it as an exhausted exchange) instead of
+    // returning a silent attempts == 0 failure.
+    result.neverAttempted = true;
+    if (counters) ++counters->exhausted;
+    return result;
+  }
   std::uint64_t mix = policy.seed ^ streamId;
   Rng rng(detail::splitmix64(mix));
   // All backoff arithmetic is clamped at maxBackoff *as a double*, before

@@ -739,4 +739,25 @@ Result<RepairReport> SdtController::repair(Deployment& deployment,
   return report;
 }
 
+StatusOr SdtController::distributeAdmissionPolicy(
+    admission::AdmissionController& target, const admission::Policy& policy) const {
+  ScopedOpSpan span(obs_, "distribute_admission_policy");
+  span.phase("admission.validate");
+  if (const StatusOr valid = policy.validate(); !valid.ok()) {
+    span.finish("invalid");
+    return valid;
+  }
+  span.phase("admission.install");
+  target.setPolicy(policy);
+  if (obs_.metrics != nullptr) {
+    obs_.metrics
+        ->counter("sdt_controller_admission_policy_total", {{"op", "distribute"}},
+                  "Admission policies validated and pushed to the fabric edge")
+        .inc();
+  }
+  span.annotate("enabled", policy.enabled ? "true" : "false");
+  span.finish("ok");
+  return StatusOr::okStatus();
+}
+
 }  // namespace sdt::controller

@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "admission/admission.hpp"
 #include "common/result.hpp"
 #include "common/retry.hpp"
 #include "obs/metrics.hpp"
@@ -244,6 +245,16 @@ class SdtController {
                                             const routing::RoutingAlgorithm& routing,
                                             const FailureSet& failures,
                                             const RepairOptions& options = {}) const;
+
+  /// Admission-policy distribution: validate `policy` and push it to the
+  /// fabric-edge admission controller (the overload analogue of a table
+  /// install — one policy object fans out to every host agent; here the
+  /// AdmissionController models that whole edge tier). Rejects invalid
+  /// policies without touching the live one. Call between runs: the edge
+  /// applies the policy to decisions from the next start().
+  [[nodiscard]] StatusOr distributeAdmissionPolicy(
+      admission::AdmissionController& target,
+      const admission::Policy& policy) const;
 
  private:
   projection::Plant plant_;

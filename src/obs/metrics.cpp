@@ -115,10 +115,20 @@ Family::Cell& Registry::cell(const std::string& name, InstrumentKind kind,
     throw std::logic_error("metric family '" + name + "' already registered as " +
                            instrumentKindName(family.kind));
   }
-  auto [cit, fresh] = family.cells.try_emplace(labelKey(labels));
+  Labels effective = labels;
+  std::string key = labelKey(effective);
+  if (family.cells.find(key) == family.cells.end() &&
+      family.cells.size() >= cellLimit_) {
+    // Family is full: fold this (new) label set into the shared overflow
+    // cell so the map stops growing. Existing cells are unaffected.
+    ++overflowCells_;
+    effective = Labels{{"overflow", "true"}};
+    key = labelKey(effective);
+  }
+  auto [cit, fresh] = family.cells.try_emplace(std::move(key));
   Family::Cell& c = cit->second;
   if (fresh) {
-    c.labels = labels;
+    c.labels = std::move(effective);
     std::sort(c.labels.begin(), c.labels.end());
     switch (kind) {
       case InstrumentKind::kCounter: c.counter = std::make_unique<Counter>(); break;
@@ -180,6 +190,53 @@ void Registry::visit(
 std::size_t Registry::familyCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   return families_.size();
+}
+
+void Registry::setCellLimitPerFamily(std::size_t limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cellLimit_ = limit == 0 ? 1 : limit;
+}
+
+std::size_t Registry::cellLimitPerFamily() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cellLimit_;
+}
+
+std::uint64_t Registry::overflowCells() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overflowCells_;
+}
+
+std::size_t Registry::cellCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [name, family] : families_) n += family.cells.size();
+  return n;
+}
+
+std::size_t Registry::approxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t bytes = 0;
+  for (const auto& [name, family] : families_) {
+    bytes += sizeof(Family) + name.capacity() + family.help.capacity() +
+             family.bounds.capacity() * sizeof(double);
+    for (const auto& [key, c] : family.cells) {
+      bytes += sizeof(Family::Cell) + key.capacity();
+      for (const auto& [k, v] : c.labels) bytes += k.capacity() + v.capacity();
+      if (c.counter) bytes += sizeof(Counter);
+      if (c.gauge) bytes += sizeof(Gauge);
+      if (c.histogram) {
+        bytes += sizeof(Histogram) +
+                 (c.histogram->bounds().size() + 1) *
+                     (sizeof(double) + sizeof(std::atomic<std::uint64_t>));
+      }
+      if (c.series) {
+        bytes += sizeof(RingSeries) +
+                 c.series->capacity() * sizeof(std::pair<TimeNs, double>);
+      }
+    }
+  }
+  return bytes;
 }
 
 }  // namespace sdt::obs

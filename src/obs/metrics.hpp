@@ -163,6 +163,11 @@ std::string labelKey(const Labels& labels);
 
 class Registry {
  public:
+  /// Default per-family cell cap (see setCellLimitPerFamily): generous
+  /// enough for every shipped collector (ports x counters on the largest
+  /// topologies), small enough that a runaway label set cannot OOM a soak.
+  static constexpr std::size_t kDefaultCellLimit = 4096;
+
   Registry() = default;
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
@@ -194,6 +199,26 @@ class Registry {
 
   [[nodiscard]] std::size_t familyCount() const;
 
+  // -- Memory bounding (long-soak safety) -----------------------------------
+  /// Cap the number of label cells one family may hold. Once a family is
+  /// full, get-or-create calls with *new* label sets all resolve to a single
+  /// shared overflow cell (labels {{"overflow","true"}}) instead of growing
+  /// the map — a million distinct flow ids cannot OOM the registry; existing
+  /// cells keep resolving normally. The overflow cell rides on top of the
+  /// cap, and overflowCells() counts how many distinct label sets were
+  /// folded into it. Applies per family; takes effect for future creations.
+  void setCellLimitPerFamily(std::size_t limit);
+  [[nodiscard]] std::size_t cellLimitPerFamily() const;
+  /// Distinct new label sets that were routed to an overflow cell.
+  [[nodiscard]] std::uint64_t overflowCells() const;
+  /// Total label cells across all families.
+  [[nodiscard]] std::size_t cellCount() const;
+  /// Rough resident footprint of the registry's metric storage (names,
+  /// labels, buckets, ring capacity) — the quantity the soak footprint test
+  /// asserts stays bounded. Estimation, not accounting: containers' exact
+  /// overheads are implementation-defined.
+  [[nodiscard]] std::size_t approxBytes() const;
+
  private:
   Family::Cell& cell(const std::string& name, InstrumentKind kind,
                      const Labels& labels, const std::string& help,
@@ -202,6 +227,8 @@ class Registry {
   mutable std::mutex mu_;
   std::map<std::string, Family> families_;
   std::vector<std::function<void()>> collectors_;
+  std::size_t cellLimit_ = kDefaultCellLimit;
+  std::uint64_t overflowCells_ = 0;
 };
 
 }  // namespace sdt::obs

@@ -1,5 +1,7 @@
 #include "routing/shortest_path.hpp"
 
+#include <algorithm>
+
 #include "common/strings.hpp"
 
 namespace sdt::routing {
@@ -29,9 +31,23 @@ std::vector<topo::PortId> ShortestPathRouting::candidates(topo::SwitchId sw,
 
 Result<Hop> ShortestPathRouting::nextHop(topo::SwitchId sw, topo::HostId dst, int vc,
                                          std::uint64_t flowHash) const {
-  const auto cands = candidates(sw, dst);
+  auto cands = candidates(sw, dst);
   if (cands.empty()) {
     return makeError(strFormat("shortest: no route from switch %d to host %d", sw, dst));
+  }
+  if (oracle_ && cands.size() > 1) {
+    // Keep only the least-loaded candidates; the flow hash still spreads
+    // ties so equal-load fabrics behave exactly like plain ECMP.
+    double minLoad = oracle_(sw, cands[0]);
+    for (std::size_t i = 1; i < cands.size(); ++i) {
+      minLoad = std::min(minLoad, oracle_(sw, cands[i]));
+    }
+    std::vector<topo::PortId> least;
+    least.reserve(cands.size());
+    for (const topo::PortId port : cands) {
+      if (oracle_(sw, port) <= minLoad) least.push_back(port);
+    }
+    cands = std::move(least);
   }
   return Hop{cands[flowHash % cands.size()], vc};
 }

@@ -3,8 +3,14 @@
 // The general-purpose strategy for WAN topologies (Table II's 261 Internet
 // graphs) and any topology without a dedicated algorithm. Deadlock freedom
 // is not guaranteed in general (WANs run lossy ethernet, where it is moot).
+//
+// Optionally congestion-aware: with a CongestionOracle installed the
+// per-flow hash picks among the *least-loaded* equal-cost candidates
+// instead of all of them, spreading elephant collisions under overload
+// (same oracle contract as AdaptiveDragonflyRouting).
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "routing/routing.hpp"
@@ -13,6 +19,12 @@ namespace sdt::routing {
 
 class ShortestPathRouting : public RoutingAlgorithm {
  public:
+  /// Load estimate for (switch, out port) — typically queued bytes.
+  /// Shard-safety contract: the oracle runs inside a data-plane forwarding
+  /// decision on the switch's owning shard, so it must read only state owned
+  /// by that switch (its own egress queues), never another shard's.
+  using CongestionOracle = std::function<double(topo::SwitchId, topo::PortId)>;
+
   explicit ShortestPathRouting(const topo::Topology& topo);
 
   [[nodiscard]] std::string name() const override { return "shortest"; }
@@ -23,9 +35,15 @@ class ShortestPathRouting : public RoutingAlgorithm {
   [[nodiscard]] std::vector<topo::PortId> candidates(topo::SwitchId sw,
                                                      topo::HostId dst) const;
 
+  /// Weight ECMP choices by load: nextHop() restricts the hash pick to the
+  /// candidates whose oracle load ties for minimum (deterministic at equal
+  /// loads — the tie set is ordered by port id).
+  void setCongestionOracle(CongestionOracle oracle) { oracle_ = std::move(oracle); }
+
  private:
   /// dist_[dstSwitch][sw] = hop distance in the switch graph.
   std::vector<std::vector<int>> dist_;
+  CongestionOracle oracle_;
 };
 
 }  // namespace sdt::routing

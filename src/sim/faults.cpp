@@ -15,6 +15,8 @@ const char* faultKindName(FaultKind kind) {
     case FaultKind::kPortStall: return "port-stall";
     case FaultKind::kPortUnstall: return "port-unstall";
     case FaultKind::kImpair: return "impair";
+    case FaultKind::kOverloadStorm: return "overload-storm";
+    case FaultKind::kOverloadEnd: return "overload-end";
   }
   return "?";
 }
@@ -22,18 +24,19 @@ const char* faultKindName(FaultKind kind) {
 FaultInjector::FaultInjector(Simulator& sim, Network& net, std::uint64_t seed)
     : sim_(&sim), net_(&net), controlRng_(seed ^ 0xC0A70CC5ULL) {
   net_->seedFaultRng(seed);
-  // Cable cuts flip both ends of a link, which may live on different
-  // shards; pin the engine to the serial merge loop.
-  sim_->requireSerial();
 }
 
 void FaultInjector::arm() {
   for (; armed_ < schedule_.size(); ++armed_) {
     const FaultSpec spec = schedule_[armed_];
+    // Cable cuts flip both ends of a link, which may live on different
+    // shards; arming any physical fault pins the engine to the serial merge
+    // loop so no worker thread races the mutation. Overload faults only
+    // poke shard-0 workload generators and keep parallel runs parallel.
+    if (faultKindNeedsSerial(spec.kind)) sim_->requireSerial();
     // Fire on the shard that owns the faulted switch so the port mutation is
-    // shard-local. Cable cuts also flip the peer end, which may live on
-    // another shard — the constructor's requireSerial() guarantees no worker
-    // threads run while an injector is wired.
+    // shard-local; overload (and other switch-less) events fire on shard 0,
+    // where the serving-workload generators live.
     const int shard = spec.sw >= 0 ? net_->switchShard(spec.sw) : 0;
     sim_->scheduleAtOn(shard, spec.at, [this, spec]() { apply(spec); });
   }
@@ -82,6 +85,12 @@ void FaultInjector::apply(const FaultSpec& spec) {
       break;
     case FaultKind::kImpair:
       net_->setPortImpairment(spec.sw, spec.port, spec.dropProb, spec.corruptProb);
+      break;
+    case FaultKind::kOverloadStorm:
+    case FaultKind::kOverloadEnd:
+      record.intensity = spec.intensity;
+      record.srcHost = spec.srcHost;
+      if (overloadSink_) overloadSink_(spec);
       break;
   }
   trace_.push_back(record);

@@ -176,6 +176,34 @@ TEST(Retry, CountersAccumulateAcrossExchanges) {
   EXPECT_EQ(counters.exhausted, 1u);
 }
 
+// Regression: maxAttempts < 1 used to fall straight through the loop and
+// return {succeeded=false, attempts=0} — indistinguishable from "tried and
+// the switch never answered". The guard makes the degenerate policy explicit.
+TEST(Retry, ZeroAttemptBudgetIsNeverAttempted) {
+  retry::RetryPolicy policy;
+  retry::RetryCounters counters;
+  for (const int budget : {0, -1, -100}) {
+    policy.maxAttempts = budget;
+    int calls = 0;
+    const auto r = retry::retryWithBackoff(
+        policy, 7, [&](int) { ++calls; return true; }, &counters);
+    EXPECT_FALSE(r.succeeded) << budget;
+    EXPECT_TRUE(r.neverAttempted) << budget;
+    EXPECT_EQ(r.attempts, 0) << budget;
+    EXPECT_EQ(r.elapsed, 0) << budget;
+    EXPECT_EQ(calls, 0) << "attempt fn ran under a zero budget";
+  }
+  EXPECT_EQ(counters.attempts, 0u);
+  EXPECT_EQ(counters.retries, 0u);
+  EXPECT_EQ(counters.exhausted, 3u);  // each empty exchange counts as exhausted
+  // A normal exhausted exchange is distinguishable: it *did* attempt.
+  policy.maxAttempts = 2;
+  const auto r = retry::retryWithBackoff(policy, 7, [](int) { return false; });
+  EXPECT_FALSE(r.succeeded);
+  EXPECT_FALSE(r.neverAttempted);
+  EXPECT_EQ(r.attempts, 2);
+}
+
 TEST(Retry, DeterministicAcrossRuns) {
   retry::RetryPolicy policy;
   policy.maxAttempts = 6;

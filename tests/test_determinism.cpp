@@ -29,6 +29,7 @@
 #include "testbed/sweep.hpp"
 #include "topo/generators.hpp"
 #include "workloads/apps.hpp"
+#include "workloads/datacenter.hpp"
 
 namespace sdt::testbed {
 namespace {
@@ -193,6 +194,47 @@ TEST(ShardedDeterminism, ParallelBitIdenticalToSerialAtSameK) {
       parallel = runPoint(16 * 1024);
     }
     EXPECT_EQ(parallel, serial) << "K=" << k << " parallel diverged from serial";
+    EXPECT_GT(serial.events, 0u);
+    EXPECT_GT(serial.act, 0);
+  }
+}
+
+/// Incast point: many-to-one traffic concentrates every flow onto one edge
+/// port — the worst case for cross-shard event ordering (all shards target
+/// the aggregator's shard) and the traffic shape the admission tier guards.
+Fingerprint runIncastPoint(std::int64_t bytesPerFlow) {
+  const topo::Topology topo = topo::makeFatTree(4);
+  const routing::ShortestPathRouting routing(topo);
+  auto plant = projection::planPlant({&topo}, {.numSwitches = 3});
+  EXPECT_TRUE(plant.ok());
+  InstanceOptions opt;
+  opt.network.pfcEnabled = false;  // lossy: drops must also reproduce
+  auto inst = makeSdt(topo, routing, plant.value(), opt);
+  EXPECT_TRUE(inst.ok()) << inst.error().message;
+  const workloads::Workload w = workloads::incast(12, bytesPerFlow, 3);
+  const RunResult run = runWorkload(inst.value(), w, {});
+  Fingerprint fp;
+  fp.act = run.act;
+  fp.events = run.events;
+  fp.fabricTxBytes = run.fabricTxBytes;
+  fp.drops = run.drops;
+  fp.portHash = hashPorts(inst.value().net());
+  return fp;
+}
+
+TEST(ShardedDeterminism, IncastBitIdenticalSerialVsParallelAtSameK) {
+  for (const int k : {2, 4}) {
+    Fingerprint serial;
+    Fingerprint parallel;
+    {
+      const ShardEnvGuard env(k, 1);
+      serial = runIncastPoint(8 * 1024);
+    }
+    {
+      const ShardEnvGuard env(k, k);
+      parallel = runIncastPoint(8 * 1024);
+    }
+    EXPECT_EQ(parallel, serial) << "K=" << k << " incast diverged";
     EXPECT_GT(serial.events, 0u);
     EXPECT_GT(serial.act, 0);
   }

@@ -49,7 +49,23 @@ TEST_P(ExampleConfigs, LoadsDeploysAndRoutes) {
 INSTANTIATE_TEST_SUITE_P(Shipped, ExampleConfigs,
                          ::testing::Values("fattree_k4.json", "dragonfly.json",
                                            "torus_5x5.json",
-                                           "custom_triangle.json"));
+                                           "custom_triangle.json",
+                                           "incast_ft4.json",
+                                           "partition_aggregate.json"));
+
+TEST(ExampleConfigs, OverloadDemosRunLossy) {
+  // The overload demos only demonstrate anything on a lossy fabric: with PFC
+  // on, incast backpressures hop by hop instead of dropping, and the
+  // admission tier has nothing to save.
+  for (const char* name : {"incast_ft4.json", "partition_aggregate.json"}) {
+    auto config = loadExperimentConfig(configDir() + "/" + name);
+    ASSERT_TRUE(config.ok()) << name;
+    sim::NetworkConfig net;
+    applyFabricKnobs(config.value(), net);
+    EXPECT_FALSE(net.pfcEnabled) << name;
+    EXPECT_TRUE(net.ecnEnabled) << name;
+  }
+}
 
 TEST(ExampleConfigs, FabricKnobsApplied) {
   auto config = loadExperimentConfig(configDir() + "/custom_triangle.json");

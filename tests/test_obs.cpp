@@ -119,6 +119,48 @@ TEST(Registry, CollectorsRunAtCollectTime) {
   EXPECT_EQ(reg.counter("sdt_pulled_total").value(), 25u);
 }
 
+TEST(Registry, CellCapReroutesUnboundedLabelSetsToOverflow) {
+  // A per-flow label leak (e.g. flow id as a label value) must not grow the
+  // registry without bound: past the per-family cap, *new* label sets land
+  // in one shared {overflow="true"} cell; existing cells keep their identity.
+  Registry reg;
+  reg.setCellLimitPerFamily(8);
+  EXPECT_EQ(reg.cellLimitPerFamily(), 8u);
+  std::vector<Counter*> early;
+  for (int i = 0; i < 7; ++i) {
+    early.push_back(&reg.counter("sdt_leak_total", {{"flow", std::to_string(i)}}));
+  }
+  for (int i = 0; i < 100000; ++i) {
+    reg.counter("sdt_leak_total", {{"flow", std::to_string(i)}}).inc();
+  }
+  // 8 regular cells (flow=0..7) plus the one shared overflow cell.
+  EXPECT_LE(reg.cellCount(), 9u);
+  EXPECT_EQ(reg.overflowCells(), 100000u - 8u);
+  // Pre-cap cells survive, stay addressable, and kept their own counts.
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(&reg.counter("sdt_leak_total", {{"flow", std::to_string(i)}}),
+              early[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(early[static_cast<std::size_t>(i)]->value(), 1u);
+  }
+  // Everything rerouted accumulated in the single overflow cell.
+  EXPECT_EQ(reg.counter("sdt_leak_total", {{"overflow", "true"}}).value(),
+            100000u - 8u);
+}
+
+TEST(Registry, FootprintStaysBoundedUnderLabelChurn) {
+  // One million distinct label sets against a small cap: memory must track
+  // the cap, not the churn. approxBytes() is an estimate, so the bound is
+  // generous — without the cap this registry would be hundreds of MB.
+  Registry reg;
+  reg.setCellLimitPerFamily(64);
+  for (int i = 0; i < 1000000; ++i) {
+    reg.counter("sdt_churn_total", {{"id", std::to_string(i)}}).inc();
+  }
+  EXPECT_LE(reg.cellCount(), 65u);  // 64 regular + 1 overflow
+  EXPECT_EQ(reg.overflowCells(), 1000000u - 64u);
+  EXPECT_LT(reg.approxBytes(), 256u * 1024u);
+}
+
 TEST(Registry, ConcurrentIncrementsAreLossless) {
   Registry reg;
   Counter& c = reg.counter("sdt_racy_total");
