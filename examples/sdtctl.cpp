@@ -23,6 +23,14 @@
 //                                             with the obs registry attached,
 //                                             and print the collected metrics
 //                                             (Prometheus text, or --json)
+//   sdtctl serve    [config.json...]          long-running multi-tenant mode:
+//                                             carve the plant into per-tenant
+//                                             slices and read admit/evict/
+//                                             status/run/metrics commands
+//                                             from stdin until quit/EOF.
+//                                             `metrics` prints Prometheus
+//                                             text with a tenant label on
+//                                             every per-slice series.
 //   sdtctl trace    <config.json> [to.json]   stage a full traced lifecycle:
 //                                             deploy, switch-crash repair, a
 //                                             live transactional update (with
@@ -57,6 +65,8 @@
 #include "obs/trace.hpp"
 #include "projection/feasibility.hpp"
 #include "sim/control_channel.hpp"
+#include "sim/transport.hpp"
+#include "tenant/tenant.hpp"
 #include "testbed/evaluator.hpp"
 #include "workloads/apps.hpp"
 #include "workloads/datacenter.hpp"
@@ -78,7 +88,7 @@ struct CliOptions {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: sdtctl <topo|check|deploy|run|feas|recover|status|stats|trace> "
+               "usage: sdtctl <topo|check|deploy|run|feas|recover|status|stats|serve|trace> "
                "<config.json>... \n"
                "       [--switches N] [--spec 64|128|h3c] [--flex P] "
                "[workload name for 'run']\n"
@@ -691,6 +701,219 @@ int cmdTrace(const std::vector<controller::ExperimentConfig>& configs,
 
 }  // namespace
 
+// -- serve: long-running multi-tenant testbed-as-a-service --------------------
+
+/// One admitted tenant. Owns the loaded config (and with it the topology)
+/// and the routing algorithm so the TenantManager's intent pointers stay
+/// valid for the slice's whole lifetime.
+struct ServeTenant {
+  std::uint16_t id = 0;
+  std::string name;
+  std::unique_ptr<controller::ExperimentConfig> config;
+  std::unique_ptr<routing::RoutingAlgorithm> routing;
+  std::uint64_t bytesDelivered = 0;     ///< cumulative over `run` bursts
+  std::uint64_t messagesDelivered = 0;  ///< ditto
+};
+
+int serveAdmit(tenant::TenantManager& mgr,
+               std::vector<std::unique_ptr<ServeTenant>>& tenants,
+               const std::string& path) {
+  auto config = controller::loadExperimentConfig(path);
+  if (!config) {
+    std::printf("admit %s: %s\n", path.c_str(), config.error().message.c_str());
+    return 1;
+  }
+  auto t = std::make_unique<ServeTenant>();
+  t->config = std::make_unique<controller::ExperimentConfig>(std::move(config).value());
+  t->name = t->config->topology.name();
+  auto routing =
+      routing::makeRouting(t->config->routingStrategy, t->config->topology);
+  if (!routing) {
+    std::printf("admit %s: %s\n", path.c_str(), routing.error().message.c_str());
+    return 1;
+  }
+  t->routing = std::move(routing).value();
+
+  tenant::TenantSpec spec;
+  spec.name = t->name;
+  spec.topology = &t->config->topology;
+  spec.routing = t->routing.get();
+  spec.spareSelfLinksPerSwitch = 1;
+  spec.deploy.requireDeadlockFree = t->config->pfc;
+  auto admitted = mgr.admit(spec);
+  if (!admitted) {
+    std::printf("admit %s: %s\n", path.c_str(), admitted.error().message.c_str());
+    return 1;
+  }
+  t->id = admitted.value().id;
+  std::printf("admitted tenant %u '%s': %d hosts, %d flow entries, "
+              "peak two-version reservation %.0f%%\n",
+              t->id, t->name.c_str(), t->config->topology.numHosts(),
+              admitted.value().flowEntries,
+              admitted.value().peakReservedFraction * 100.0);
+  tenants.push_back(std::move(t));
+  return 0;
+}
+
+void serveStatus(const tenant::TenantManager& mgr,
+                 const std::vector<std::unique_ptr<ServeTenant>>& tenants) {
+  std::printf("tenants: %d\n", mgr.numTenants());
+  for (const auto& t : tenants) {
+    const tenant::TenantSlice* slice = mgr.slice(t->id);
+    if (slice == nullptr) continue;
+    std::size_t entries = 0;
+    for (const auto& sw : mgr.switches()) entries += sw->table().countTenant(t->id);
+    std::printf("  tenant %u '%s': topology %s, %d hosts (global %u..%u), "
+                "%zu live flow entries, %llu bytes delivered\n",
+                t->id, t->name.c_str(), slice->topology->name().c_str(),
+                slice->topology->numHosts(), slice->hostBase,
+                slice->hostBase +
+                    static_cast<std::uint32_t>(slice->topology->numHosts()) - 1,
+                entries, static_cast<unsigned long long>(t->bytesDelivered));
+  }
+  for (std::size_t sw = 0; sw < mgr.switches().size(); ++sw) {
+    std::printf("  switch %zu: %zu/%zu entries reserved (two-version)\n", sw,
+                mgr.reservedEntries(static_cast<int>(sw)),
+                mgr.plant().switches[sw].flowTableCapacity);
+  }
+}
+
+/// Build the shared data plane and run a short message burst inside every
+/// slice (each logical host sends to its ring successor). Delivered bytes
+/// fold into the per-tenant counters `metrics` exports.
+void serveRun(tenant::TenantManager& mgr,
+              std::vector<std::unique_ptr<ServeTenant>>& tenants, double ms) {
+  if (tenants.empty()) {
+    std::printf("run: no tenants admitted\n");
+    return;
+  }
+  sim::Simulator sim;
+  auto built = mgr.buildNetwork(sim);
+  sim::TransportManager transport(sim, *built.net, {});
+  for (auto& t : tenants) {
+    const tenant::TenantSlice* slice = mgr.slice(t->id);
+    const int n = slice->topology->numHosts();
+    if (n < 2) continue;
+    for (int h = 0; h < n; ++h) {
+      const int src = static_cast<int>(slice->hostBase) + h;
+      const int dst = static_cast<int>(slice->hostBase) + (h + 1) % n;
+      transport.sendMessage(src, dst, 64 * kKiB, 0,
+                            [raw = t.get()](std::uint64_t, TimeNs) {
+                              raw->bytesDelivered += 64 * kKiB;
+                              raw->messagesDelivered += 1;
+                            });
+    }
+  }
+  sim.runUntil(msToNs(ms));
+  std::printf("ran %.1f ms of traffic across %zu tenant slice(s)\n", ms,
+              tenants.size());
+}
+
+void serveMetrics(const tenant::TenantManager& mgr,
+                  const std::vector<std::unique_ptr<ServeTenant>>& tenants) {
+  obs::Registry registry;
+  for (const auto& t : tenants) {
+    const tenant::TenantSlice* slice = mgr.slice(t->id);
+    if (slice == nullptr) continue;
+    const obs::Labels labels{{"tenant", t->name}};
+    registry
+        .gauge("sdt_tenant_hosts", labels, "hosts attached to the tenant slice")
+        .set(slice->topology->numHosts());
+    std::size_t entries = 0;
+    for (const auto& sw : mgr.switches()) entries += sw->table().countTenant(t->id);
+    registry
+        .gauge("sdt_tenant_flow_entries", labels,
+               "live flow entries in the tenant's cookie namespace")
+        .set(static_cast<double>(entries));
+    registry
+        .gauge("sdt_tenant_watch_ports", labels,
+               "egress queues the tenant's admission controller samples")
+        .set(static_cast<double>(slice->watchPorts.size()));
+    registry
+        .counter("sdt_tenant_bytes_delivered_total", labels,
+                 "application bytes delivered inside the slice by `run` bursts")
+        .syncTo(t->bytesDelivered);
+    registry
+        .counter("sdt_tenant_messages_delivered_total", labels,
+                 "messages delivered inside the slice by `run` bursts")
+        .syncTo(t->messagesDelivered);
+  }
+  for (std::size_t sw = 0; sw < mgr.switches().size(); ++sw) {
+    registry
+        .gauge("sdt_plant_reserved_entries",
+               {{"switch", strFormat("%zu", sw)}},
+               "two-version flow-table reservation held against the switch")
+        .set(static_cast<double>(mgr.reservedEntries(static_cast<int>(sw))));
+  }
+  std::printf("%s", obs::metricsToPrometheus(registry).c_str());
+}
+
+int cmdServe(const CliOptions& opt) {
+  projection::PlantConfig pc;
+  pc.numSwitches = opt.switches;
+  pc.spec = opt.spec;
+  auto plant = projection::buildPlant(pc);
+  if (!plant) {
+    std::fprintf(stderr, "plant: %s\n", plant.error().message.c_str());
+    return 1;
+  }
+  if (opt.flexPairs > 0) {
+    if (auto s = projection::addOpticalFlex(plant.value(), opt.flexPairs); !s) {
+      std::fprintf(stderr, "flex: %s\n", s.error().message.c_str());
+      return 1;
+    }
+  }
+  tenant::TenantManager mgr(std::move(plant).value());
+  std::vector<std::unique_ptr<ServeTenant>> tenants;
+
+  std::printf("sdt tenant service: plant %d x %s, %zu-entry tables\n",
+              opt.switches, opt.spec.model.c_str(), opt.spec.flowTableCapacity);
+  for (const std::string& path : opt.configs) {
+    serveAdmit(mgr, tenants, path);
+  }
+  std::printf("commands: admit <config.json> | evict <id> | status | "
+              "run [ms] | metrics | quit\n");
+
+  char line[1024];
+  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+    std::string cmd;
+    std::string arg;
+    {
+      const std::string s(line);
+      const std::size_t sp = s.find_first_of(" \t\n");
+      cmd = s.substr(0, sp);
+      if (sp != std::string::npos) {
+        const std::size_t b = s.find_first_not_of(" \t\n", sp);
+        const std::size_t e = s.find_last_not_of(" \t\n");
+        if (b != std::string::npos && e >= b) arg = s.substr(b, e - b + 1);
+      }
+    }
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "admit" && !arg.empty()) {
+      serveAdmit(mgr, tenants, arg);
+    } else if (cmd == "evict" && !arg.empty()) {
+      const auto id = static_cast<std::uint16_t>(std::atoi(arg.c_str()));
+      if (auto s = mgr.evict(id); !s) {
+        std::printf("evict %u: %s\n", id, s.error().message.c_str());
+      } else {
+        std::erase_if(tenants, [id](const auto& t) { return t->id == id; });
+        std::printf("evicted tenant %u (entries GC'd, cables freed)\n", id);
+      }
+    } else if (cmd == "status") {
+      serveStatus(mgr, tenants);
+    } else if (cmd == "run") {
+      const double ms = arg.empty() ? 5.0 : std::atof(arg.c_str());
+      serveRun(mgr, tenants, ms);
+    } else if (cmd == "metrics") {
+      serveMetrics(mgr, tenants);
+    } else {
+      std::printf("unknown command: %s\n", cmd.c_str());
+    }
+  }
+  return 0;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
@@ -710,6 +933,7 @@ int main(int argc, char** argv) {
     configs.push_back(std::move(c).value());
   }
   if (command == "status") return cmdStatus(opt.value());
+  if (command == "serve") return cmdServe(opt.value());
   if (configs.empty()) {
     std::fprintf(stderr, "no config file given\n");
     return usage();

@@ -185,11 +185,20 @@ void AdmissionController::sampleShard(int shard, TimeNs until) {
   ShardLane& lane = lanes_[static_cast<std::size_t>(shard)];
   ++lane.samples;
   std::int64_t maxBytes = 0;
-  for (int sw = 0; sw < net_->numSwitches(); ++sw) {
-    if (net_->switchShard(sw) != shard) continue;
-    const int ports = net_->switchPortCount(sw);
-    for (int p = 0; p < ports; ++p) {
+  if (!watchPorts_.empty()) {
+    // Tenant-scoped sampling: only the slice's own queues feed pressure, so
+    // a co-tenant's congestion never throttles this controller's hosts.
+    for (const auto& [sw, p] : watchPorts_) {
+      if (net_->switchShard(sw) != shard) continue;
       maxBytes = std::max(maxBytes, net_->switchEgressBytes(sw, p));
+    }
+  } else {
+    for (int sw = 0; sw < net_->numSwitches(); ++sw) {
+      if (net_->switchShard(sw) != shard) continue;
+      const int ports = net_->switchPortCount(sw);
+      for (int p = 0; p < ports; ++p) {
+        maxBytes = std::max(maxBytes, net_->switchEgressBytes(sw, p));
+      }
     }
   }
   const double fill = static_cast<double>(maxBytes) /

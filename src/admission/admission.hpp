@@ -38,6 +38,7 @@
 
 #include <array>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/result.hpp"
@@ -133,6 +134,15 @@ class AdmissionController {
   /// start().
   void attachMetrics(obs::Registry& registry);
 
+  /// Restrict the pressure samplers to these (switch, egress port) pairs
+  /// (multi-tenant scoping: a per-tenant controller watches only the queues
+  /// its slice's traffic can fill, so one tenant's storm cannot throttle a
+  /// neighbor's credits). Empty (the default) samples every port of every
+  /// switch. Call before start().
+  void restrictToPorts(std::vector<std::pair<int, int>> ports) {
+    watchPorts_ = std::move(ports);
+  }
+
   /// Arm the per-shard pressure samplers; they self-stop once the next
   /// sample would land past `until`. Call before Simulator::run().
   void start(TimeNs until);
@@ -185,6 +195,8 @@ class AdmissionController {
   sim::Simulator* sim_;
   sim::Network* net_;
   Policy policy_;
+  /// Non-empty: the only (switch, port) queues the samplers read.
+  std::vector<std::pair<int, int>> watchPorts_;
   std::vector<ShardLane> lanes_;          ///< one per shard
   std::vector<HostBucket> buckets_;       ///< one per host (owner-shard access)
   std::vector<double> brokerShardFill_;   ///< broker state: shard 0 only

@@ -110,7 +110,7 @@ Result<std::vector<std::vector<openflow::FlowEntry>>> compileFlowTables(
           openflow::FlowEntry entry;
           entry.priority = 100;
           entry.match.inPort = inPort;
-          entry.match.dstAddr = static_cast<std::uint32_t>(dst);
+          entry.match.dstAddr = options.hostAddrBase + static_cast<std::uint32_t>(dst);
           // Host-injected packets always carry VC0, so the VC match is only
           // meaningful on fabric ingress; host ports get the vc==0 rule.
           if (vcs > 1) {
@@ -408,6 +408,9 @@ Result<Deployment> SdtController::deploy(const topo::Topology& topo,
   if (!proj) return proj.error();
 
   Deployment deployment;  // epoch defaults to 1: the first configuration
+  // Tenant slices start at scoped epoch (tenant, 1); tenant 0 decodes to the
+  // legacy epoch 1, so single-tenant deployments are unchanged.
+  deployment.epoch = openflow::makeScopedEpoch(options.tenant, 1);
   span.phase("deploy.compile");
   auto tables =
       compileFlowTables(topo, proj.value(), plant_, routing, options, deployment.epoch);
@@ -514,6 +517,13 @@ Result<UpdatePlan> SdtController::planUpdate(const Deployment& current,
     }
   }
 
+  // Scoped epochs advance within the tenant's 16-bit local space; rolling
+  // over into the next tenant's namespace would be catastrophic, so refuse.
+  if (openflow::epochLocal(current.epoch) == 0xFFFF) {
+    return makeError(strFormat(
+        "tenant %u exhausted its local epoch space (65535 reconfigurations)",
+        openflow::epochTenant(current.epoch)));
+  }
   UpdatePlan plan;
   plan.fromEpoch = current.epoch;
   plan.toEpoch = current.epoch + 1;
@@ -660,8 +670,16 @@ Result<RepairReport> SdtController::repair(Deployment& deployment,
   // flow-mods over the (possibly flaky) control channel. A crashed switch's
   // live table is empty, so the diff reinstalls its exact fresh set.
   span.phase("repair.install");
+  // Tenant containment: a scoped deployment (epoch carries a tenant id) may
+  // only ever touch its own rules on the shared switches — crash cleanup and
+  // the live-side of the diff are filtered to the tenant's cookie namespace.
+  const std::uint16_t tenant = openflow::epochTenant(deployment.epoch);
   for (const int psw : failures.crashedSwitches) {
-    deployment.switches[psw]->table().clear();
+    if (tenant != 0) {
+      deployment.switches[psw]->table().removeByTenant(tenant);
+    } else {
+      deployment.switches[psw]->table().clear();
+    }
   }
   int newTotal = 0;
   std::uint64_t stream = 0;
@@ -671,7 +689,14 @@ Result<RepairReport> SdtController::repair(Deployment& deployment,
     const std::vector<openflow::FlowEntry>& desired = tables.value()[psw];
     newTotal += static_cast<int>(desired.size());
 
-    const TableDiff diff = diffEntries(live.entries(), desired);
+    std::vector<openflow::FlowEntry> ownedLive;
+    if (tenant != 0) {
+      for (const openflow::FlowEntry& e : live.entries()) {
+        if (openflow::cookieTenant(e.cookie) == tenant) ownedLive.push_back(e);
+      }
+    }
+    const TableDiff diff =
+        diffEntries(tenant != 0 ? ownedLive : live.entries(), desired);
 
     const auto install = [&](const char* what) -> Status<Error> {
       const auto attempt = [&](int n) {
@@ -707,7 +732,8 @@ Result<RepairReport> SdtController::repair(Deployment& deployment,
   deployment.totalFlowEntries = 0;
   deployment.maxEntriesPerSwitch = 0;
   for (const auto& ofs : deployment.switches) {
-    const int n = static_cast<int>(ofs->table().size());
+    const int n = static_cast<int>(tenant != 0 ? ofs->table().countTenant(tenant)
+                                               : ofs->table().size());
     deployment.totalFlowEntries += n;
     deployment.maxEntriesPerSwitch = std::max(deployment.maxEntriesPerSwitch, n);
   }

@@ -45,6 +45,16 @@ struct DeployOptions {
   /// Per-flow ECMP spreading is approximated per-destination when compiling
   /// proactive tables (real SDT computes paths reactively per flow).
   std::uint64_t ecmpSalt = 0;
+  /// Global host-address base (multi-tenant slicing): compiled entries match
+  /// dstAddr = hostAddrBase + logical host id, so a slice whose hosts occupy
+  /// ids [base, base + n) on the shared sim::Network gets addresses that can
+  /// never alias another slice's. 0 = legacy single-tenant addressing.
+  std::uint32_t hostAddrBase = 0;
+  /// Owning tenant id (multi-tenant slicing): rules compile into the scoped
+  /// epoch namespace (tenant, local-epoch) so bulk epoch operations — flip,
+  /// drain, GC, restamp — can never select another tenant's rules. 0 is the
+  /// legacy whole-plant namespace.
+  std::uint16_t tenant = 0;
   projection::LinkProjectorOptions projector;
 };
 
@@ -122,6 +132,16 @@ struct UpdatePlan {
   std::string topology;
   std::string routing;
   std::uint64_t ecmpSalt = 0;
+  /// Physical switches the transaction may touch (ascending). Empty = every
+  /// plant switch (the legacy whole-plant update). A tenant slice scopes its
+  /// two-phase protocol — install, barrier, flip, GC, rollback, guards, and
+  /// the purity audit — to exactly these switches.
+  std::vector<int> scope;
+  /// Parallel to `scope`: ingress ports to flip per scoped switch. An empty
+  /// inner list flips the whole switch (setIngressEpoch); a non-empty list
+  /// flips only those ports' per-port epochs, leaving co-tenants' ports
+  /// stamped with their own epochs.
+  std::vector<std::vector<int>> flipPorts;
 };
 
 /// A logical link repair() could not re-project (no spare physical link).

@@ -130,6 +130,7 @@ void NetworkMonitor::checkFailures() {
     failure.reportedDown = w.suspectedDown || down;
     failure.suspectedAt = w.suspectedAt;
     failure.detectedAt = now;
+    if (epochProvider_) failure.epoch = epochProvider_();
     if (projection_ != nullptr) {
       failure.logicalPort = projection_->logicalAt(projection::PhysPort{sw, port});
     }

@@ -45,6 +45,12 @@ struct PortFailure {
   bool reportedDown = false;  ///< signature 1 (vs. counter stall, signature 2)
   TimeNs suspectedAt = 0;     ///< first sample showing the signature
   TimeNs detectedAt = 0;      ///< sample that outlasted the detection timeout
+  /// Deployment epoch in force at *detection* time (0 when no provider is
+  /// set). Consumers that react asynchronously — a repair scheduled behind a
+  /// reconfiguration — must compare this against the current epoch and drop
+  /// stale reports: the failure was diagnosed against a configuration that
+  /// no longer exists, and its port may not even carry a link anymore.
+  std::uint32_t epoch = 0;
   /// SDT mode: the logical switch port mapped onto the failed physical port.
   std::optional<topo::SwitchPort> logicalPort;
 };
@@ -80,6 +86,13 @@ class NetworkMonitor {
   /// Notification hook, fired once per port at detection time.
   void onPortFailure(std::function<void(const PortFailure&)> callback) {
     failureCallback_ = std::move(callback);
+  }
+  /// Source of the deployment epoch stamped into each PortFailure. Reading
+  /// it at detection time (not at callback-consumption time) closes the
+  /// guard-window race: a failure detected under epoch N but acted on after
+  /// a flip to N+1 carries N, so the consumer can tell the report is stale.
+  void setEpochProvider(std::function<std::uint32_t()> provider) {
+    epochProvider_ = std::move(provider);
   }
   /// Forget detected/suspect state (after repair) so ports are watched anew.
   void clearFailures();
@@ -159,6 +172,7 @@ class NetworkMonitor {
   std::map<std::pair<int, int>, Watch> watches_;  ///< polled-plane (sw, port)
   std::vector<PortFailure> failures_;
   std::function<void(const PortFailure&)> failureCallback_;
+  std::function<std::uint32_t()> epochProvider_;
 };
 
 }  // namespace sdt::controller

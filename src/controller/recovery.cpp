@@ -13,9 +13,12 @@ namespace {
 /// recovery's xid space disjoint from the transaction layer's 0xF10D, so a
 /// late duplicate from the crashed transaction can never mask a recovery
 /// bundle (or vice versa). The anti-entropy round index makes each
-/// iteration's bundle a fresh xid — only *retries within* a round dedup.
-std::uint64_t recoveryXid(int round, int sw) {
-  return (0x4EC0ULL << 48) | (static_cast<std::uint64_t>(round) << 16) |
+/// iteration's bundle a fresh xid — only *retries within* a round dedup —
+/// and the tenant salt keeps two tenants' concurrent recoveries over the
+/// same shared switch from colliding in its xid cache.
+std::uint64_t recoveryXid(std::uint16_t tenant, int round, int sw) {
+  return (0x4EC0ULL << 48) | (static_cast<std::uint64_t>(tenant) << 32) |
+         (static_cast<std::uint64_t>(round) << 16) |
          static_cast<std::uint64_t>(sw);
 }
 
@@ -181,6 +184,13 @@ RecoveryRun::RecoveryRun(sim::Simulator& sim, sim::ControlChannel& channel,
   report_.fromEpoch = plan_.fromEpoch;
   report_.toEpoch = plan_.toEpoch;
   report_.switches.resize(n);
+  tenant_ = openflow::epochTenant(plan_.targetEpoch);
+}
+
+const std::vector<int>* RecoveryRun::flipPortsFor(int sw) const {
+  if (static_cast<std::size_t>(sw) >= plan_.flipPorts.size()) return nullptr;
+  const std::vector<int>& ports = plan_.flipPorts[static_cast<std::size_t>(sw)];
+  return ports.empty() ? nullptr : &ports;
 }
 
 void RecoveryRun::tracePhase(const char* name) {
@@ -275,7 +285,7 @@ void RecoveryRun::startRound(int sw, Round round, int attempt) {
     // round advanced still re-acks the *same* bundle it acked before. The
     // xid (bound to this anti-entropy round) makes re-application a no-op.
     const ConvergeOps ops = pending_[static_cast<std::size_t>(sw)];
-    const std::uint64_t xid = recoveryXid(roundIndex_, sw);
+    const std::uint64_t xid = recoveryXid(tenant_, roundIndex_, sw);
     channel_->send(sw, [this, sw, gen, xid, ops]() {
       openflow::Switch& ofs = *switches_[static_cast<std::size_t>(sw)];
       if (ofs.acceptXid(xid)) {
@@ -291,8 +301,22 @@ void RecoveryRun::startRound(int sw, Round round, int attempt) {
           // the shortfall and the next iteration finishes the job.
           (void)ofs.table().add(std::move(fresh));
         }
-        if (ops.restamp) ofs.table().restampEpoch(plan_.targetEpoch);
-        if (ops.flipEpoch) ofs.setIngressEpoch(plan_.targetEpoch);
+        if (ops.restamp) {
+          // The tenant-scoped sweep leaves co-tenant cookies alone; the
+          // whole-table sweep is the legacy single-tenant behaviour.
+          if (tenant_ != 0) ofs.table().restampTenantEpoch(plan_.targetEpoch);
+          else ofs.table().restampEpoch(plan_.targetEpoch);
+        }
+        if (ops.flipEpoch) {
+          if (const std::vector<int>* ports = flipPortsFor(sw)) {
+            for (const int p : *ports) ofs.setPortIngressEpoch(p, plan_.targetEpoch);
+          } else if (tenant_ == 0) {
+            // A tenant-scoped recovery with no listed ports owns no ingress
+            // stamping on this switch; a whole-switch flip would hijack
+            // co-tenant traffic.
+            ofs.setIngressEpoch(plan_.targetEpoch);
+          }
+        }
         report_.flowMods += ops.mods();
       }
       channel_->send(sw, [this, sw, gen]() {
@@ -353,15 +377,27 @@ void RecoveryRun::completeSwitch(int sw) {
     for (int s = 0; s < numSwitches(); ++s) {
       const openflow::TableSnapshot& snap = lastSnap_[static_cast<std::size_t>(s)];
       ConvergeOps ops;
-      detail::TableDiff diff = detail::diffEntries(
-          snap.entries, plan_.tables[static_cast<std::size_t>(s)]);
+      // A tenant-scoped recovery diffs only the slice's own entries: rules a
+      // co-tenant installed on the same shared switch are invisible here, so
+      // they can be neither deleted, restamped, nor counted as drift.
+      std::vector<openflow::FlowEntry> owned;
+      const std::vector<openflow::FlowEntry>* live = &snap.entries;
+      if (tenant_ != 0) {
+        owned.reserve(snap.entries.size());
+        for (const openflow::FlowEntry& e : snap.entries) {
+          if (openflow::cookieTenant(e.cookie) == tenant_) owned.push_back(e);
+        }
+        live = &owned;
+      }
+      detail::TableDiff diff =
+          detail::diffEntries(*live, plan_.tables[static_cast<std::size_t>(s)]);
       ops.removes = std::move(diff.toRemove);
       ops.adds.reserve(diff.toAdd.size());
       for (const openflow::FlowEntry* e : diff.toAdd) ops.adds.push_back(*e);
       // Rules that survive the diff but carry the losing epoch's stamp only
       // need the cookie sweep, not a delete+add round-trip.
       std::size_t wrongEpoch = 0;
-      for (const openflow::FlowEntry& e : snap.entries) {
+      for (const openflow::FlowEntry& e : *live) {
         if (openflow::cookieEpoch(e.cookie) != plan_.targetEpoch) ++wrongEpoch;
       }
       std::size_t wrongInRemoves = 0;
@@ -370,7 +406,24 @@ void RecoveryRun::completeSwitch(int sw) {
       }
       ops.restampCount = static_cast<int>(wrongEpoch - wrongInRemoves);
       ops.restamp = ops.restampCount > 0;
-      ops.flipEpoch = snap.ingressEpoch != plan_.targetEpoch;
+      if (const std::vector<int>* ports = flipPortsFor(s)) {
+        ops.flipEpoch = false;
+        for (const int p : *ports) {
+          std::uint32_t effective = snap.ingressEpoch;
+          for (const auto& [port, epoch] : snap.portEpochs) {
+            if (port == p) {
+              effective = epoch;
+              break;
+            }
+          }
+          if (effective != plan_.targetEpoch) ops.flipEpoch = true;
+        }
+      } else {
+        // No listed ports: whole-switch semantics for the legacy namespace,
+        // nothing to flip for a tenant (mid-path hops don't stamp its
+        // packets, and the switch-wide epoch belongs to no one tenant).
+        ops.flipEpoch = tenant_ == 0 && snap.ingressEpoch != plan_.targetEpoch;
+      }
       if (firstReadback_) recordFirstReadback(s, ops, snap);
       anyDrift = anyDrift || !ops.empty();
       pending_[static_cast<std::size_t>(s)] = std::move(ops);
@@ -453,8 +506,15 @@ void RecoveryRun::finishSuccess() {
   bool pure = true;
   for (int sw = 0; sw < numSwitches(); ++sw) {
     const openflow::Switch& ofs = *switches_[static_cast<std::size_t>(sw)];
-    if (ofs.ingressEpoch() != plan_.targetEpoch) pure = false;
+    if (const std::vector<int>* ports = flipPortsFor(sw)) {
+      for (const int p : *ports) {
+        if (ofs.portIngressEpoch(p) != plan_.targetEpoch) pure = false;
+      }
+    } else if (tenant_ == 0 && ofs.ingressEpoch() != plan_.targetEpoch) {
+      pure = false;
+    }
     for (const openflow::FlowEntry& e : ofs.table().entries()) {
+      if (tenant_ != 0 && openflow::cookieTenant(e.cookie) != tenant_) continue;
       if (openflow::cookieEpoch(e.cookie) != plan_.targetEpoch) pure = false;
     }
   }
@@ -474,7 +534,8 @@ void RecoveryRun::finishSuccess() {
   deployment_.totalFlowEntries = 0;
   deployment_.maxEntriesPerSwitch = 0;
   for (const auto& ofs : deployment_.switches) {
-    const int n = static_cast<int>(ofs->table().size());
+    const int n = static_cast<int>(tenant_ != 0 ? ofs->table().countTenant(tenant_)
+                                                : ofs->table().size());
     deployment_.totalFlowEntries += n;
     deployment_.maxEntriesPerSwitch = std::max(deployment_.maxEntriesPerSwitch, n);
   }

@@ -91,6 +91,12 @@ struct RecoveryPlan {
   /// Per-physical-switch target entries, cookies stamped targetEpoch.
   std::vector<std::vector<openflow::FlowEntry>> tables;
   int totalEntries = 0;
+  /// Per-physical-switch ingress ports whose epoch stamp this recovery owns
+  /// (empty outer or inner vector = the whole switch, the single-tenant
+  /// default). A tenant slice's recovery lists only the slice's host-facing
+  /// ports, so converging one tenant can never flip a co-tenant's stamping.
+  /// planRecovery() leaves this empty; the slice layer fills it in.
+  std::vector<std::vector<int>> flipPorts;
 };
 
 /// Replay the journal and compile the recovery target. Pure planning: no
@@ -228,6 +234,9 @@ class RecoveryRun {
   [[nodiscard]] int numSwitches() const {
     return static_cast<int>(switches_.size());
   }
+  /// Ports whose ingress stamp this recovery owns on `sw`, or nullptr for
+  /// the whole switch (plan_.flipPorts empty or its inner list empty).
+  [[nodiscard]] const std::vector<int>* flipPortsFor(int sw) const;
   void startRound(int sw, Round round, int attempt);
   void onSnapshot(int sw, const openflow::TableSnapshot& snap);
   void onConvergeAck(int sw);
@@ -266,6 +275,9 @@ class RecoveryRun {
   std::vector<Rng> backoffRng_;
   int roundAcks_ = 0;
   bool firstReadback_ = true;  ///< drift accounting happens once
+  /// epochTenant(plan_.targetEpoch): non-zero scopes every diff, restamp,
+  /// purity check, and deployment total to this tenant's own rules.
+  std::uint16_t tenant_ = 0;
   obs::SpanId spanRun_ = obs::kNoSpan;    ///< root span (tracer only)
   obs::SpanId spanPhase_ = obs::kNoSpan;  ///< currently open phase child
 };

@@ -102,6 +102,15 @@ ReconfigTransaction::ReconfigTransaction(sim::Simulator& sim,
   }
   report_.fromEpoch = plan_.fromEpoch;
   report_.toEpoch = plan_.toEpoch;
+  scope_ = plan_.scope;
+  if (scope_.empty()) {
+    scope_.reserve(n);
+    for (int sw = 0; sw < numSwitches(); ++sw) scope_.push_back(sw);
+  }
+  flipPortsBySwitch_.resize(n);
+  for (std::size_t i = 0; i < plan_.scope.size() && i < plan_.flipPorts.size(); ++i) {
+    flipPortsBySwitch_[static_cast<std::size_t>(plan_.scope[i])] = plan_.flipPorts[i];
+  }
 }
 
 bool* ReconfigTransaction::ackedFlag(int sw, Round round) {
@@ -183,9 +192,9 @@ void ReconfigTransaction::start() {
   currentRound_ = Round::kInstall;
   tracePhase("install");
   if (options_.monitor != nullptr) {
-    for (int sw = 0; sw < numSwitches(); ++sw) options_.monitor->guardSwitch(sw);
+    for (const int sw : scope_) options_.monitor->guardSwitch(sw);
   }
-  for (int sw = 0; sw < numSwitches(); ++sw) startRound(sw, Round::kInstall, 1);
+  for (const int sw : scope_) startRound(sw, Round::kInstall, 1);
 }
 
 TimeNs ReconfigTransaction::backoffDelay(int sw, int attempt) {
@@ -256,7 +265,7 @@ void ReconfigTransaction::onRoundTimeout(int sw, Round round, int attempt,
     if (round == Round::kGc) report_.gcIncomplete = true;
     roundComplete_[static_cast<std::size_t>(sw)] = 1;
     ++roundAcks_;
-    if (roundAcks_ == numSwitches()) advancePhase();
+    if (roundAcks_ == scopeSize()) advancePhase();
     return;
   }
   const TimeNs backoff = backoffDelay(sw, attempt);
@@ -301,12 +310,23 @@ void ReconfigTransaction::applyAtSwitch(int sw, Round round) {
       // processed (and separately acked), like a real OpenFlow agent.
       ofs.barrier();
       break;
-    case Round::kFlip:
+    case Round::kFlip: {
       // Also idempotent (a pure config write), so no xid is consumed: even
-      // a flip retransmitted after a switch reboot must re-apply.
-      ofs.setIngressEpoch(plan_.toEpoch);
+      // a flip retransmitted after a switch reboot must re-apply. A scoped
+      // plan flips only the slice's own ingress ports — a scoped switch with
+      // no listed ports (a mid-path hop; packets arrive already stamped)
+      // gets NO flip, because a whole-switch flip on shared hardware would
+      // move every co-tenant's unstamped traffic onto this tenant's epoch.
+      if (plan_.scope.empty()) {
+        ofs.setIngressEpoch(plan_.toEpoch);
+      } else {
+        for (const int p : flipPortsBySwitch_[static_cast<std::size_t>(sw)]) {
+          ofs.setPortIngressEpoch(p, plan_.toEpoch);
+        }
+      }
       done.flipAcked = true;
       break;
+    }
     case Round::kGc:
       if (!ofs.acceptXid(xid)) break;
       report_.flowModsGarbageCollected +=
@@ -344,7 +364,7 @@ void ReconfigTransaction::onAck(int sw, Round round) {
     if (round == Round::kFlip && maybeCrash(CrashPoint::kPostFlip)) return;
     if (round == Round::kGc && maybeCrash(CrashPoint::kMidGc)) return;
   }
-  if (roundAcks_ == numSwitches()) advancePhase();
+  if (roundAcks_ == scopeSize()) advancePhase();
 }
 
 void ReconfigTransaction::advancePhase() {
@@ -357,7 +377,7 @@ void ReconfigTransaction::advancePhase() {
       report_.phaseReached = ReconfigPhase::kBarrier;
       currentRound_ = Round::kBarrier;
       tracePhase("barrier");
-      for (int sw = 0; sw < numSwitches(); ++sw) startRound(sw, Round::kBarrier, 1);
+      for (const int sw : scope_) startRound(sw, Round::kBarrier, 1);
       break;
     case Round::kBarrier:
       // Commit point: the first flip message may stamp a packet with the new
@@ -371,7 +391,7 @@ void ReconfigTransaction::advancePhase() {
       report_.phaseReached = ReconfigPhase::kFlip;
       currentRound_ = Round::kFlip;
       tracePhase("flip");
-      for (int sw = 0; sw < numSwitches(); ++sw) startRound(sw, Round::kFlip, 1);
+      for (const int sw : scope_) startRound(sw, Round::kFlip, 1);
       break;
     case Round::kFlip: {
       report_.updateWindowEnd = sim_->now();
@@ -406,7 +426,7 @@ void ReconfigTransaction::beginGc() {
   tracePhase("gc");
   std::fill(roundComplete_.begin(), roundComplete_.end(), 0);
   roundAcks_ = 0;
-  for (int sw = 0; sw < numSwitches(); ++sw) startRound(sw, Round::kGc, 1);
+  for (const int sw : scope_) startRound(sw, Round::kGc, 1);
 }
 
 void ReconfigTransaction::abort(ReconfigPhase at, const std::string& why) {
@@ -422,7 +442,7 @@ void ReconfigTransaction::abort(ReconfigPhase at, const std::string& why) {
   roundAcks_ = 0;
   currentRound_ = Round::kRollback;
   tracePhase("rollback");
-  for (int sw = 0; sw < numSwitches(); ++sw) startRound(sw, Round::kRollback, 1);
+  for (const int sw : scope_) startRound(sw, Round::kRollback, 1);
 }
 
 void ReconfigTransaction::journalMark(JournalRecordKind kind) {
@@ -472,9 +492,19 @@ void ReconfigTransaction::finish() {
   const std::uint32_t keep = report_.committed ? plan_.toEpoch : plan_.fromEpoch;
   const std::uint32_t gone = report_.committed ? plan_.fromEpoch : plan_.toEpoch;
   bool pure = true;
-  for (int sw = 0; sw < numSwitches(); ++sw) {
+  for (const int sw : scope_) {
     const openflow::Switch& ofs = *deployment_->switches[static_cast<std::size_t>(sw)];
-    if (ofs.table().countEpoch(gone) != 0 || ofs.ingressEpoch() != keep) {
+    bool swPure = ofs.table().countEpoch(gone) == 0;
+    if (plan_.scope.empty()) {
+      swPure = swPure && ofs.ingressEpoch() == keep;
+    } else {
+      // Scoped: only the listed ports carry this tenant's stamp; the
+      // switch-wide epoch (and other tenants' port stamps) are not ours.
+      for (const int p : flipPortsBySwitch_[static_cast<std::size_t>(sw)]) {
+        swPure = swPure && ofs.portIngressEpoch(p) == keep;
+      }
+    }
+    if (!swPure) {
       pure = false;
       if (report_.committed) report_.gcIncomplete = true;
     }
@@ -486,14 +516,25 @@ void ReconfigTransaction::finish() {
     deployment_->epoch = plan_.toEpoch;
     deployment_->totalFlowEntries = 0;
     deployment_->maxEntriesPerSwitch = 0;
-    for (const auto& ofs : deployment_->switches) {
-      const int n = static_cast<int>(ofs->table().size());
-      deployment_->totalFlowEntries += n;
-      deployment_->maxEntriesPerSwitch = std::max(deployment_->maxEntriesPerSwitch, n);
+    if (plan_.scope.empty()) {
+      for (const auto& ofs : deployment_->switches) {
+        const int n = static_cast<int>(ofs->table().size());
+        deployment_->totalFlowEntries += n;
+        deployment_->maxEntriesPerSwitch = std::max(deployment_->maxEntriesPerSwitch, n);
+      }
+    } else {
+      // Scoped transaction over shared switches: count only the slice's own
+      // epoch so co-tenant rules never inflate this deployment's totals.
+      for (const int sw : scope_) {
+        const openflow::Switch& ofs = *deployment_->switches[static_cast<std::size_t>(sw)];
+        const int n = static_cast<int>(ofs.table().countEpoch(plan_.toEpoch));
+        deployment_->totalFlowEntries += n;
+        deployment_->maxEntriesPerSwitch = std::max(deployment_->maxEntriesPerSwitch, n);
+      }
     }
   }
   if (options_.monitor != nullptr) {
-    for (int sw = 0; sw < numSwitches(); ++sw) options_.monitor->unguardSwitch(sw);
+    for (const int sw : scope_) options_.monitor->unguardSwitch(sw);
   }
   report_.switches = acked_;
   traceFinish(report_.committed ? "committed" : "rolled_back");

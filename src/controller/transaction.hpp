@@ -207,6 +207,9 @@ class ReconfigTransaction {
   [[nodiscard]] int numSwitches() const {
     return static_cast<int>(deployment_->switches.size());
   }
+  /// Switches this transaction touches (resolved from plan_.scope). Every
+  /// phase barrier counts acks against this set only.
+  [[nodiscard]] int scopeSize() const { return static_cast<int>(scope_.size()); }
   void startRound(int sw, Round round, int attempt);
   void applyAtSwitch(int sw, Round round);
   void onAck(int sw, Round round);
@@ -248,6 +251,14 @@ class ReconfigTransaction {
   ReconfigReport report_;
   std::vector<SwitchTxState> acked_;    ///< controller-side ack bookkeeping
   std::vector<SwitchTxState> applied_;  ///< switch-side idempotency flags
+  /// Resolved scope: plan_.scope when non-empty (a tenant slice's share of
+  /// the plant), otherwise every deployment switch. Out-of-scope switches
+  /// are never sent a message, guarded, or audited.
+  std::vector<int> scope_;
+  /// Per-physical-switch flip ports from plan_.flipPorts. Only consulted
+  /// for scoped plans (legacy unscoped plans flip the whole switch); an
+  /// empty inner vector there means a mid-path switch with nothing to flip.
+  std::vector<std::vector<int>> flipPortsBySwitch_;
   std::vector<char> roundComplete_;     ///< per-switch, reset each phase
   std::vector<Rng> backoffRng_;         ///< deterministic jitter per switch
   int roundAcks_ = 0;  ///< switches done with the current global phase

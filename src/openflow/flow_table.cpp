@@ -76,6 +76,37 @@ std::size_t FlowTable::removeByEpoch(std::uint32_t epoch) {
   return removed;
 }
 
+std::size_t FlowTable::removeByTenant(std::uint16_t tenant) {
+  const auto it = std::remove_if(entries_.begin(), entries_.end(), [&](const FlowEntry& e) {
+    return cookieTenant(e.cookie) == tenant;
+  });
+  const auto removed = static_cast<std::size_t>(entries_.end() - it);
+  entries_.erase(it, entries_.end());
+  indexDirty_ = indexDirty_ || removed > 0;
+  removesTotal_ += removed;
+  return removed;
+}
+
+std::size_t FlowTable::countTenant(std::uint16_t tenant) const {
+  return static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(), [&](const FlowEntry& e) {
+        return cookieTenant(e.cookie) == tenant;
+      }));
+}
+
+std::size_t FlowTable::restampTenantEpoch(std::uint32_t epoch) {
+  const std::uint16_t tenant = epochTenant(epoch);
+  std::size_t changed = 0;
+  for (FlowEntry& e : entries_) {
+    if (cookieTenant(e.cookie) != tenant) continue;
+    if (cookieEpoch(e.cookie) == epoch) continue;
+    e.cookie = makeCookie(epoch, cookieTag(e.cookie));
+    ++changed;
+  }
+  restampsTotal_ += changed;
+  return changed;
+}
+
 std::size_t FlowTable::restampEpoch(std::uint32_t epoch) {
   std::size_t changed = 0;
   for (FlowEntry& e : entries_) {

@@ -33,6 +33,27 @@ inline constexpr std::uint32_t cookieTag(std::uint64_t cookie) {
   return static_cast<std::uint32_t>(cookie);
 }
 
+/// Tenant namespacing (multi-tenant slicing): the 32-bit epoch splits into a
+/// 16-bit tenant id (high half) and a 16-bit tenant-local epoch (low half),
+/// so a cookie reads tenant<<48 | epoch<<32 | tag. Tenant 0 is the legacy
+/// whole-plant namespace: every pre-tenancy epoch value decodes to tenant 0,
+/// and all epoch machinery (lookup gating, removeByEpoch, purity audits)
+/// works on scoped epochs unchanged — two tenants' epochs can never collide
+/// because the tenant bits differ.
+inline constexpr std::uint32_t makeScopedEpoch(std::uint16_t tenant,
+                                               std::uint16_t localEpoch) {
+  return static_cast<std::uint32_t>(tenant) << 16 | localEpoch;
+}
+inline constexpr std::uint16_t epochTenant(std::uint32_t epoch) {
+  return static_cast<std::uint16_t>(epoch >> 16);
+}
+inline constexpr std::uint16_t epochLocal(std::uint32_t epoch) {
+  return static_cast<std::uint16_t>(epoch);
+}
+inline constexpr std::uint16_t cookieTenant(std::uint64_t cookie) {
+  return epochTenant(cookieEpoch(cookie));
+}
+
 /// Header fields a switch matches on. Addresses are opaque 32-bit ids
 /// (the testbed assigns one "IP" per host); `inPort` is the physical
 /// ingress port on the switch doing the lookup.
@@ -146,6 +167,21 @@ class FlowTable {
 
   /// Number of entries whose cookie carries `epoch` (purity audits).
   [[nodiscard]] std::size_t countEpoch(std::uint32_t epoch) const;
+
+  /// Bulk delete every entry owned by `tenant` regardless of local epoch
+  /// (slice eviction GC: one cookie-masked delete per switch selecting the
+  /// tenant bits); returns how many. Tenant 0 selects legacy entries only.
+  std::size_t removeByTenant(std::uint16_t tenant);
+
+  /// Number of entries owned by `tenant` across all of its local epochs.
+  [[nodiscard]] std::size_t countTenant(std::uint16_t tenant) const;
+
+  /// restampEpoch() confined to one tenant's rules: rewrite the epoch half
+  /// of every entry whose cookie carries tenant `epochTenant(epoch)` to
+  /// `epoch`, leaving other tenants' stamps untouched. Tenant-scoped crash
+  /// recovery adopts a slice's stale-epoch survivors without perturbing its
+  /// neighbors; returns how many entries changed.
+  std::size_t restampTenantEpoch(std::uint32_t epoch);
 
   /// Rewrite the epoch half of every entry's cookie to `epoch` (a single
   /// cookie-rewrite flow-mod per switch, modeling an OFPFC_MODIFY sweep).

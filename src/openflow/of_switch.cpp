@@ -15,7 +15,7 @@ ForwardDecision Switch::process(const PacketHeader& header, std::int64_t bytes) 
   // keep their stamp, so mid-path hops look up the epoch the packet
   // started under (per-packet consistency, Reitblatt-style).
   PacketHeader stamped = header;
-  if (stamped.epoch == 0) stamped.epoch = ingressEpoch_;
+  if (stamped.epoch == 0) stamped.epoch = portIngressEpoch(header.inPort);
 
   ForwardDecision decision;
   decision.stampEpoch = stamped.epoch;

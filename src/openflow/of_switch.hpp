@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/result.hpp"
@@ -48,6 +50,9 @@ struct TableSnapshot {
   std::vector<FlowEntry> entries;
   std::uint32_t ingressEpoch = 0;
   std::uint64_t barriersSeen = 0;
+  /// Sparse per-port ingress-epoch overrides (multi-tenant slicing):
+  /// (port, epoch) pairs, ascending by port.
+  std::vector<std::pair<int, std::uint32_t>> portEpochs;
 };
 
 class Switch {
@@ -75,6 +80,25 @@ class Switch {
   /// epochs are installed, and the stamp decides which set a packet uses.
   [[nodiscard]] std::uint32_t ingressEpoch() const { return ingressEpoch_; }
   void setIngressEpoch(std::uint32_t epoch) { ingressEpoch_ = epoch; }
+
+  /// Per-port ingress-epoch override (multi-tenant slicing): a switch shared
+  /// by several tenants stamps each ingress port with its owning slice's
+  /// epoch, so one tenant's epoch flip — a per-port config write — can never
+  /// move a neighbor's traffic onto new rules. A port without an override
+  /// falls back to the switch-wide ingressEpoch(). Port -1 is rejected.
+  void setPortIngressEpoch(int port, std::uint32_t epoch) {
+    if (port < 0 || port >= numPorts()) return;
+    portEpochs_[port] = epoch;
+  }
+  void clearPortIngressEpoch(int port) { portEpochs_.erase(port); }
+  /// Effective stamping epoch for packets entering at `port`.
+  [[nodiscard]] std::uint32_t portIngressEpoch(int port) const {
+    const auto it = portEpochs_.find(port);
+    return it != portEpochs_.end() ? it->second : ingressEpoch_;
+  }
+  [[nodiscard]] bool hasPortIngressEpoch(int port) const {
+    return portEpochs_.count(port) > 0;
+  }
 
   /// OpenFlow barrier request: all preceding flow-mods are now processed
   /// (trivially true on the model — table edits apply synchronously — but
@@ -106,7 +130,9 @@ class Switch {
   /// Flow-stats readback over the control channel (crash recovery):
   /// snapshot the table and ingress configuration as of now.
   [[nodiscard]] TableSnapshot snapshot() const {
-    return {table_.entries(), ingressEpoch_, barriersSeen_};
+    TableSnapshot snap{table_.entries(), ingressEpoch_, barriersSeen_, {}};
+    snap.portEpochs.assign(portEpochs_.begin(), portEpochs_.end());
+    return snap;
   }
 
   /// Power-cycle: the flow table, ingress-epoch config, barrier counter,
@@ -117,6 +143,7 @@ class Switch {
   void reboot() {
     table_.clear();
     ingressEpoch_ = 0;
+    portEpochs_.clear();
     barriersSeen_ = 0;
     xidsSeen_.clear();
     xidDupHits_ = 0;
@@ -132,6 +159,8 @@ class Switch {
   FlowTable table_;
   std::vector<PortStats> portStats_;
   std::uint32_t ingressEpoch_ = 0;
+  /// Sparse per-port overrides; ordered so snapshots list ports ascending.
+  std::map<int, std::uint32_t> portEpochs_;
   std::uint64_t barriersSeen_ = 0;
   std::uint64_t xidDupHits_ = 0;
   std::unordered_set<std::uint64_t> xidsSeen_;

@@ -3,6 +3,7 @@
 
 #include "controller/monitor.hpp"
 #include "obs/metrics.hpp"
+#include "sim/faults.hpp"
 #include "routing/shortest_path.hpp"
 #include "sim/builder.hpp"
 #include "sim/transport.hpp"
@@ -100,6 +101,81 @@ TEST(Monitor, OutOfRangeQueriesAreCounted) {
 
   registry.collect();
   EXPECT_EQ(registry.counter("sdt_monitor_oob_queries_total").value(), 2u);
+}
+
+// Regression for the epoch-guard window: a PortFailure used to carry no
+// epoch at all, so a consumer acting on the report *after* a reconfiguration
+// flip had no way to tell it was diagnosed against a configuration that no
+// longer exists. The epoch is now read from the provider at DETECTION time —
+// a failure detected under epoch N keeps N forever, no matter when the
+// report is consumed or what the fabric flipped to in between.
+TEST(Monitor, PortFailureCarriesDetectionTimeEpoch) {
+  sim::Simulator sim;
+  const topo::Topology topo = topo::makeLine(3);
+  routing::ShortestPathRouting routing(topo);
+  auto built = sim::buildLogicalNetwork(sim, topo, routing, {});
+
+  NetworkMonitor monitor(sim, *built.net, topo);
+  std::uint32_t liveEpoch = 7;
+  monitor.setEpochProvider([&liveEpoch]() { return liveEpoch; });
+  monitor.enableFailureDetection(usToNs(60.0));
+  monitor.start(usToNs(5.0));
+
+  // Two fabric cables; cut the first under epoch 7, flip to epoch 8, then
+  // cut the second.
+  std::vector<topo::Link> fabric;
+  for (const topo::Link& l : topo.links()) fabric.push_back(l);
+  ASSERT_GE(fabric.size(), 2u);
+  sim::FaultInjector inj(sim, *built.net, 42);
+  inj.cutCable(usToNs(200.0), fabric[0].a.sw, fabric[0].a.port);
+  inj.cutCable(usToNs(900.0), fabric[1].a.sw, fabric[1].a.port);
+  inj.arm();
+  // The flip lands between the two detections (detection latency is
+  // timeout + <= 2 periods, so the first cut is detected well before 600us).
+  sim.schedule(usToNs(600.0), [&liveEpoch]() { liveEpoch = 8; });
+
+  sim.runUntil(msToNs(2.0));
+  monitor.stop();
+
+  const auto isOn = [](const PortFailure& f, const topo::Link& l) {
+    return (f.sw == l.a.sw && f.port == l.a.port) ||
+           (f.sw == l.b.sw && f.port == l.b.port);
+  };
+  int first = 0;
+  int second = 0;
+  for (const PortFailure& f : monitor.portFailures()) {
+    if (isOn(f, fabric[0])) {
+      ++first;
+      EXPECT_EQ(f.epoch, 7u) << "consumed late, but detected under epoch 7";
+      EXPECT_LT(f.detectedAt, usToNs(600.0));
+    } else if (isOn(f, fabric[1])) {
+      ++second;
+      EXPECT_EQ(f.epoch, 8u);
+      EXPECT_GT(f.detectedAt, usToNs(900.0));
+    }
+  }
+  EXPECT_GE(first, 1);   // both ends of a cut report; at least one each
+  EXPECT_GE(second, 1);
+}
+
+// Without a provider the stamp stays 0 — the single-tenant legacy value —
+// rather than picking up garbage.
+TEST(Monitor, PortFailureEpochDefaultsToZeroWithoutProvider) {
+  sim::Simulator sim;
+  const topo::Topology topo = topo::makeLine(2);
+  routing::ShortestPathRouting routing(topo);
+  auto built = sim::buildLogicalNetwork(sim, topo, routing, {});
+  NetworkMonitor monitor(sim, *built.net, topo);
+  monitor.enableFailureDetection(usToNs(60.0));
+  monitor.start(usToNs(5.0));
+  sim::FaultInjector inj(sim, *built.net, 42);
+  inj.cutCable(usToNs(100.0), topo.links()[0].a.sw, topo.links()[0].a.port);
+  inj.arm();
+  sim.runUntil(msToNs(1.0));
+  ASSERT_FALSE(monitor.portFailures().empty());
+  for (const PortFailure& f : monitor.portFailures()) {
+    EXPECT_EQ(f.epoch, 0u);
+  }
 }
 
 }  // namespace

@@ -381,5 +381,148 @@ TEST(ReconfigFuzz, TwoHundredSchedulesConvergeOrRollBackPure) {
   EXPECT_GT(stampedTotal, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Fuzz: CONCURRENT transactions on disjoint switch sets. Two controllers
+// reconfigure two deployments whose switches never overlap, but they share
+// one simulator and one lossy management channel — their install/barrier/
+// flip/gc acks interleave freely in time. 200 random schedules assert no
+// cross-transaction barrier interference: each transaction's barrier counts
+// exactly its own switches' acks, its flow-mod totals never absorb the
+// neighbor's, and each lands committed-pure or rolled-back-pure on its own
+// merits (one may roll back while the other commits).
+// ---------------------------------------------------------------------------
+
+struct ConcurrentOutcome {
+  bool valid = false;
+  bool finishedA = false, finishedB = false;
+  bool committedA = false, committedB = false;
+  bool rolledBackA = false, rolledBackB = false;
+  bool pureA = false, pureB = false;
+  int barrierA = 0, barrierB = 0;
+  int installedA = 0, installedB = 0;
+  int planEntriesA = 0, planEntriesB = 0;
+};
+
+ConcurrentOutcome runConcurrentSchedule(std::uint64_t seed) {
+  Rng rng(seed);
+  const topo::Topology from = topo::makeLine(4);
+  const topo::Topology to = topo::makeRing(4);
+  routing::ShortestPathRouting rFrom(from);
+  routing::ShortestPathRouting rTo(to);
+
+  // Two fully independent fabrics (disjoint switch sets) behind one
+  // management network.
+  struct Lane {
+    projection::Plant plant;
+    std::unique_ptr<controller::SdtController> ctl;
+    controller::Deployment dep;
+    int planEntries = 0;
+    std::unique_ptr<controller::ReconfigTransaction> tx;
+  };
+  Lane lanes[2];
+  sim::Simulator sim;
+  sim::ControlChannelConfig cfg;
+  cfg.dropProb = rng.uniform() * 0.4;
+  cfg.dupProb = rng.uniform() * 0.3;
+  cfg.reorderProb = rng.uniform() * 0.3;
+  cfg.jitter = static_cast<TimeNs>(rng.between(500, 4'000));
+  cfg.reorderDelay = static_cast<TimeNs>(rng.between(5'000, 30'000));
+  sim::ControlChannel channel(sim, seed, cfg);
+  if (rng.uniform() < 0.5) {
+    const int sw = static_cast<int>(rng.below(2));
+    const TimeNs fromT = static_cast<TimeNs>(rng.between(0, 500'000));
+    const TimeNs len = static_cast<TimeNs>(rng.between(50'000, 3'000'000));
+    channel.disconnect(sw, fromT, fromT + len);
+  }
+
+  for (Lane& lane : lanes) {
+    auto plantR = projection::planPlant({&from, &to}, {.numSwitches = 2});
+    if (!plantR.ok()) return {};
+    lane.plant = std::move(plantR).value();
+    lane.ctl = std::make_unique<controller::SdtController>(lane.plant);
+    auto depR = lane.ctl->deploy(from, rFrom);
+    if (!depR.ok()) return {};
+    lane.dep = std::move(depR).value();
+    controller::DeployOptions dopt;
+    dopt.requireDeadlockFree = false;
+    auto planR = lane.ctl->planUpdate(lane.dep, to, rTo, dopt);
+    if (!planR.ok()) return {};
+    lane.planEntries = planR.value().totalEntries;
+    lane.tx = std::make_unique<controller::ReconfigTransaction>(
+        sim, channel, lane.dep, std::move(planR).value());
+    sim.schedule(static_cast<TimeNs>(rng.between(10'000, 400'000)),
+                 [&lane]() { lane.tx->start(); });
+  }
+  sim.runUntil(msToNs(80.0));
+
+  ConcurrentOutcome out;
+  out.valid = true;
+  out.finishedA = lanes[0].tx->finished();
+  out.finishedB = lanes[1].tx->finished();
+  if (!out.finishedA || !out.finishedB) return out;
+  const controller::ReconfigReport& a = lanes[0].tx->report();
+  const controller::ReconfigReport& b = lanes[1].tx->report();
+  out.committedA = a.committed;
+  out.committedB = b.committed;
+  out.rolledBackA = a.rolledBack;
+  out.rolledBackB = b.rolledBack;
+  out.pureA = a.pureStateVerified;
+  out.pureB = b.pureStateVerified;
+  out.barrierA = a.barrierRoundTrips;
+  out.barrierB = b.barrierRoundTrips;
+  out.installedA = a.flowModsInstalled;
+  out.installedB = b.flowModsInstalled;
+  out.planEntriesA = lanes[0].planEntries;
+  out.planEntriesB = lanes[1].planEntries;
+  // Cross-check purity directly against each lane's own tables.
+  for (int i = 0; i < 2; ++i) {
+    const controller::ReconfigReport& r = lanes[i].tx->report();
+    const std::uint32_t keep = r.committed ? r.toEpoch : r.fromEpoch;
+    const std::uint32_t gone = r.committed ? r.fromEpoch : r.toEpoch;
+    for (const auto& ofs : lanes[i].dep.switches) {
+      if (ofs->table().countEpoch(gone) != 0 || ofs->ingressEpoch() != keep) {
+        (i == 0 ? out.pureA : out.pureB) = false;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(ReconfigFuzz, ConcurrentDisjointTransactionsNeverShareBarriers) {
+  const std::uint64_t base = faultSeed() * 7'000'000ULL;
+  int bothCommitted = 0;
+  int split = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const std::uint64_t seed = base + i;
+    const ConcurrentOutcome out = runConcurrentSchedule(seed);
+    ASSERT_TRUE(out.valid) << "seed " << seed << " failed to set up";
+    ASSERT_TRUE(out.finishedA && out.finishedB)
+        << "seed " << seed << " left a transaction unfinished";
+    ASSERT_TRUE(out.committedA != out.rolledBackA) << "seed " << seed;
+    ASSERT_TRUE(out.committedB != out.rolledBackB) << "seed " << seed;
+    EXPECT_TRUE(out.pureA) << "seed " << seed << " lane A mixed epochs";
+    EXPECT_TRUE(out.pureB) << "seed " << seed << " lane B mixed epochs";
+    // Barrier accounting stays per-transaction: a barrier over 2 own
+    // switches completes in exactly 2 round-trips no matter how the
+    // neighbor's acks interleave. A committed transaction installed exactly
+    // its own plan's entries — never a neighbor's flow-mods.
+    if (out.committedA) {
+      EXPECT_EQ(out.barrierA, 2) << "seed " << seed;
+      EXPECT_EQ(out.installedA, out.planEntriesA) << "seed " << seed;
+    }
+    if (out.committedB) {
+      EXPECT_EQ(out.barrierB, 2) << "seed " << seed;
+      EXPECT_EQ(out.installedB, out.planEntriesB) << "seed " << seed;
+    }
+    bothCommitted += out.committedA && out.committedB;
+    split += out.committedA != out.committedB;
+  }
+  // The schedule space must exercise genuine concurrency outcomes: both
+  // committing, and one rolling back while the other commits (independent
+  // fates prove the transactions share nothing).
+  EXPECT_GT(bothCommitted, 0);
+  EXPECT_GT(split, 0);
+}
+
 }  // namespace
 }  // namespace sdt
