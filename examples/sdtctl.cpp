@@ -31,6 +31,11 @@
 //                                             `metrics` prints Prometheus
 //                                             text with a tenant label on
 //                                             every per-slice series.
+//                                             --standbys N replicates the
+//                                             control plane (leader + N
+//                                             standbys); `failover` kills
+//                                             the leader and reports the
+//                                             takeover.
 //   sdtctl trace    <config.json> [to.json]   stage a full traced lifecycle:
 //                                             deploy, switch-crash repair, a
 //                                             live transactional update (with
@@ -55,6 +60,7 @@
 #include "common/strings.hpp"
 #include "controller/config.hpp"
 #include "controller/controller.hpp"
+#include "controller/ha.hpp"
 #include "controller/journal.hpp"
 #include "controller/monitor.hpp"
 #include "controller/recovery.hpp"
@@ -79,6 +85,7 @@ struct CliOptions {
   int switches = 2;
   projection::PhysicalSwitchSpec spec = projection::openflow128x100G();
   int flexPairs = 0;
+  int standbys = 0;  ///< serve: replicate the control plane over N standbys
   std::vector<std::string> configs;
   std::string journalPath;  ///< empty: in-memory journal (recover demo only)
   controller::CrashPoint crashAt = controller::CrashPoint::kPreFlip;
@@ -91,7 +98,7 @@ int usage() {
                "usage: sdtctl <topo|check|deploy|run|feas|recover|status|stats|serve|trace> "
                "<config.json>... \n"
                "       [--switches N] [--spec 64|128|h3c] [--flex P] "
-               "[workload name for 'run']\n"
+               "[--standbys N for 'serve'] [workload name for 'run']\n"
                "       [--journal FILE] [--json] [--reboot-switch N]\n"
                "       [--crash-at prepare|mid-install|pre-flip|post-flip|mid-gc]\n");
   return 2;
@@ -130,6 +137,9 @@ Result<CliOptions> parseArgs(int argc, char** argv, std::string& workload) {
       else return makeError("unknown --spec: " + spec);
     } else if (arg == "--flex" && i + 1 < argc) {
       opt.flexPairs = std::atoi(argv[++i]);
+    } else if (arg == "--standbys" && i + 1 < argc) {
+      opt.standbys = std::atoi(argv[++i]);
+      if (opt.standbys < 0) return makeError("--standbys must be >= 0");
     } else if (!arg.empty() && arg[0] != '-' && arg.find(".json") != std::string::npos) {
       opt.configs.push_back(arg);
     } else if (!arg.empty() && arg[0] != '-') {
@@ -726,6 +736,14 @@ int serveAdmit(tenant::TenantManager& mgr,
   auto t = std::make_unique<ServeTenant>();
   t->config = std::make_unique<controller::ExperimentConfig>(std::move(config).value());
   t->name = t->config->topology.name();
+  for (const auto& live : tenants) {
+    if (live->name == t->name) {
+      std::printf("admit %s: tenant '%s' is already live (id %u) — evict it "
+                  "first, nothing was carved\n",
+                  path.c_str(), t->name.c_str(), live->id);
+      return 1;
+    }
+  }
   auto routing =
       routing::makeRouting(t->config->routingStrategy, t->config->topology);
   if (!routing) {
@@ -752,6 +770,116 @@ int serveAdmit(tenant::TenantManager& mgr,
               admitted.value().flowEntries,
               admitted.value().peakReservedFraction * 100.0);
   tenants.push_back(std::move(t));
+  return 0;
+}
+
+/// Replicated control plane for `serve --standbys N`: one leader plus N
+/// standbys over in-sim control channels, attached to the first admitted
+/// tenant's slice controller. The `failover` command kills the current
+/// leader and drives simulated time until a standby has claimed the term,
+/// fenced the old leader, and converged the slice from its journal replica.
+struct ServeHa {
+  std::uint16_t tenantId = 0;
+  std::string tenantName;
+  sim::Simulator sim;
+  std::unique_ptr<sim::ControlChannel> fabric;
+  std::unique_ptr<sim::ControlChannel> repl;
+  controller::IntentCatalog catalog;
+  std::unique_ptr<controller::ReplicatedController> ha;
+};
+
+std::unique_ptr<ServeHa> serveHaAttach(tenant::TenantManager& mgr,
+                                       const ServeTenant& t, int standbys) {
+  const tenant::TenantSlice* slice = mgr.slice(t.id);
+  if (slice == nullptr) return nullptr;
+  auto s = std::make_unique<ServeHa>();
+  s->tenantId = t.id;
+  s->tenantName = t.name;
+  s->fabric = std::make_unique<sim::ControlChannel>(s->sim, 1);
+  sim::ControlChannelConfig rcfg;
+  rcfg.baseDelay = 1'000;  // management network: faster than the fabric
+  rcfg.jitter = 500;
+  s->repl = std::make_unique<sim::ControlChannel>(s->sim, 102, rcfg);
+  controller::HaConfig hcfg;
+  hcfg.deploy = slice->deployOptions;
+  s->ha = std::make_unique<controller::ReplicatedController>(
+      s->sim, *slice->controller, *s->fabric, *s->repl, standbys + 1, hcfg);
+  s->catalog[slice->topology->name()] = {slice->topology, slice->routing};
+  s->ha->setCatalog(s->catalog);
+  // Takeover recompiles run against the tenant's slice controller and are
+  // re-scoped so a new leader can only ever touch this tenant's namespace.
+  const std::uint16_t id = t.id;
+  s->ha->setPlanner([&mgr, id, raw = s.get()](const controller::Journal& journal)
+                        -> Result<controller::RecoveryPlan> {
+    auto plan = controller::planRecovery(*mgr.slice(id)->controller, journal,
+                                         raw->catalog,
+                                         mgr.slice(id)->deployOptions);
+    if (plan) mgr.scopeRecovery(id, plan.value());
+    return plan;
+  });
+  if (auto adopted = s->ha->adoptDeployment(slice->deployment); !adopted) {
+    std::printf("ha: cannot adopt tenant '%s' deployment: %s\n", t.name.c_str(),
+                adopted.error().message.c_str());
+    return nullptr;
+  }
+  s->ha->start();
+  // Let the adopt record stream and the first heartbeats land so `status`
+  // reflects a settled group (sim time only advances inside HA commands).
+  s->sim.runUntil(msToNs(1.0));
+  std::printf("ha: control plane replicated over %d standby(s) for tenant %u "
+              "'%s' (leader replica %d, term %llu)\n",
+              standbys, t.id, t.name.c_str(), s->ha->leaderId(),
+              static_cast<unsigned long long>(s->ha->term()));
+  return s;
+}
+
+void serveHaStatus(const ServeHa& s) {
+  const controller::ReplicatedController& ha = *s.ha;
+  int alive = 0;
+  std::uint64_t streamed = 0;
+  for (int r = 0; r < ha.numReplicas(); ++r) {
+    const controller::ReplicaStatus rs = ha.status(r);
+    if (rs.alive) ++alive;
+    if (!rs.isLeader) streamed += rs.framesReceived;
+  }
+  std::printf("  ha: tenant '%s', leader replica %d, term %llu, %d/%d "
+              "replicas alive, %llu journal frames replicated, %zu "
+              "failover(s), %llu fenced write(s)\n",
+              s.tenantName.c_str(), ha.leaderId(),
+              static_cast<unsigned long long>(ha.term()), alive,
+              ha.numReplicas(), static_cast<unsigned long long>(streamed),
+              ha.failovers().size(),
+              static_cast<unsigned long long>(ha.fencedWritesTotal()));
+}
+
+int serveFailover(ServeHa& s) {
+  controller::ReplicatedController& ha = *s.ha;
+  int alive = 0;
+  for (int r = 0; r < ha.numReplicas(); ++r) {
+    if (ha.status(r).alive) ++alive;
+  }
+  if (alive < 2) {
+    std::printf("failover: no live standby left to fail over to\n");
+    return 1;
+  }
+  const std::size_t before = ha.failovers().size();
+  const int old = ha.leaderId();
+  ha.kill(old);
+  s.sim.runUntil(s.sim.now() + msToNs(50.0));
+  if (ha.failovers().size() == before || !ha.failovers().back().converged) {
+    std::printf("failover: takeover did not converge within 50 ms of sim "
+                "time after killing replica %d\n",
+                old);
+    return 1;
+  }
+  const controller::FailoverReport& r = ha.failovers().back();
+  std::printf("failover: killed leader replica %d; replica %d took over at "
+              "term %llu in %.1f us of sim time (%d flow-mods vs %d for a "
+              "cold start, %llu stale write(s) fenced)\n",
+              old, r.newLeader, static_cast<unsigned long long>(r.toTerm),
+              static_cast<double>(r.takeoverWindow()) / 1e3,
+              r.recovery.flowMods, r.recovery.fullRedeployFlowMods,
+              static_cast<unsigned long long>(ha.fencedWritesTotal()));
   return 0;
 }
 
@@ -865,15 +993,26 @@ int cmdServe(const CliOptions& opt) {
   }
   tenant::TenantManager mgr(std::move(plant).value());
   std::vector<std::unique_ptr<ServeTenant>> tenants;
+  std::unique_ptr<ServeHa> serveHa;
+  // The replicated control plane attaches to the first live tenant; after
+  // that tenant is evicted it re-attaches on the next admit.
+  const auto maybeAttachHa = [&]() {
+    if (opt.standbys > 0 && serveHa == nullptr && !tenants.empty()) {
+      serveHa = serveHaAttach(mgr, *tenants.front(), opt.standbys);
+    }
+  };
 
   std::printf("sdt tenant service: plant %d x %s, %zu-entry tables\n",
               opt.switches, opt.spec.model.c_str(), opt.spec.flowTableCapacity);
   for (const std::string& path : opt.configs) {
     serveAdmit(mgr, tenants, path);
   }
+  maybeAttachHa();
   std::printf("commands: admit <config.json> | evict <id> | status | "
-              "run [ms] | metrics | quit\n");
+              "run [ms] | metrics%s | quit\n",
+              opt.standbys > 0 ? " | failover" : "");
 
+  int unknownCommands = 0;
   char line[1024];
   while (std::fgets(line, sizeof(line), stdin) != nullptr) {
     std::string cmd;
@@ -891,9 +1030,15 @@ int cmdServe(const CliOptions& opt) {
     if (cmd.empty()) continue;
     if (cmd == "quit" || cmd == "exit") break;
     if (cmd == "admit" && !arg.empty()) {
-      serveAdmit(mgr, tenants, arg);
+      if (serveAdmit(mgr, tenants, arg) == 0) maybeAttachHa();
     } else if (cmd == "evict" && !arg.empty()) {
       const auto id = static_cast<std::uint16_t>(std::atoi(arg.c_str()));
+      // The HA replicas reference the slice controller — detach before the
+      // slice (and with it that controller) is torn down.
+      if (serveHa != nullptr && serveHa->tenantId == id) {
+        std::printf("ha: detaching from tenant %u before eviction\n", id);
+        serveHa.reset();
+      }
       if (auto s = mgr.evict(id); !s) {
         std::printf("evict %u: %s\n", id, s.error().message.c_str());
       } else {
@@ -902,14 +1047,28 @@ int cmdServe(const CliOptions& opt) {
       }
     } else if (cmd == "status") {
       serveStatus(mgr, tenants);
+      if (serveHa != nullptr) serveHaStatus(*serveHa);
     } else if (cmd == "run") {
       const double ms = arg.empty() ? 5.0 : std::atof(arg.c_str());
       serveRun(mgr, tenants, ms);
     } else if (cmd == "metrics") {
       serveMetrics(mgr, tenants);
+    } else if (cmd == "failover") {
+      if (serveHa == nullptr) {
+        std::printf("failover: no replicated control plane (start serve with "
+                    "--standbys N and admit a tenant)\n");
+      } else {
+        serveFailover(*serveHa);
+      }
     } else {
       std::printf("unknown command: %s\n", cmd.c_str());
+      ++unknownCommands;
     }
+  }
+  if (unknownCommands > 0) {
+    std::fprintf(stderr, "serve: %d unknown command(s) rejected\n",
+                 unknownCommands);
+    return 1;
   }
   return 0;
 }

@@ -260,7 +260,10 @@ Result<std::string> FileJournalStorage::read() const {
   return out;
 }
 
-Journal::Journal(JournalStorage& storage) : storage_(&storage) {
+Journal::Journal(JournalStorage& storage) : storage_(&storage) { rescan(); }
+
+void Journal::rescan() {
+  nextSeq_ = 1;
   if (const auto replayed = replay()) {
     for (const JournalRecord& rec : replayed.value().records) {
       nextSeq_ = std::max(nextSeq_, rec.seq + 1);
@@ -272,6 +275,13 @@ Status<Error> Journal::append(JournalRecord record) {
   record.seq = nextSeq_;
   if (auto st = storage_->append(frameRecord(record)); !st) return st;
   ++nextSeq_;  // only after the durable append succeeded
+  if (observer_) observer_(record);
+  return {};
+}
+
+Status<Error> Journal::appendReplica(const JournalRecord& record) {
+  if (auto st = storage_->append(frameRecord(record)); !st) return st;
+  if (record.seq >= nextSeq_) nextSeq_ = record.seq + 1;
   return {};
 }
 

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -158,6 +159,26 @@ class Journal {
   /// Frame, checksum, and durably append one record (seq is assigned here).
   Status<Error> append(JournalRecord record);
 
+  /// Replication tap (controller/ha.hpp): called after every successful
+  /// append() with the record as durably written (seq assigned) — the
+  /// leader's streamer ships exactly what hit storage, never a reordering
+  /// of it. Not invoked for appendReplica() or compact() rewrites.
+  using AppendObserver = std::function<void(const JournalRecord&)>;
+  void setAppendObserver(AppendObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Replica-side append (journal streaming): durably append a record that
+  /// already carries the leader's seq, preserved verbatim so the replica's
+  /// byte stream folds — and numbers — identically to the leader's. The
+  /// next leader-side append() on this journal continues past it.
+  Status<Error> appendReplica(const JournalRecord& record);
+
+  /// Re-scan storage after an out-of-band rewrite (snapshot catch-up swaps
+  /// the whole backing store via JournalStorage::replaceAll): picks up the
+  /// new sequence horizon without constructing a fresh Journal.
+  void rescan();
+
   /// Decode every intact record; a truncated or checksum-failing record
   /// ends the replay (the stream has no resync point past corruption —
   /// everything after the first bad frame is reported in droppedBytes).
@@ -179,6 +200,7 @@ class Journal {
  private:
   JournalStorage* storage_;
   std::uint64_t nextSeq_ = 1;
+  AppendObserver observer_;
 };
 
 }  // namespace sdt::controller

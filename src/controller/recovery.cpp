@@ -271,8 +271,12 @@ void RecoveryRun::startRound(int sw, Round round, int attempt) {
   const std::uint64_t gen = gen_;
   if (round == Round::kReadback) {
     // Flow-stats request: the switch snapshots its table at *delivery* time
-    // (not send time) and ships the copy back; both legs are lossy.
+    // (not send time) and ships the copy back; both legs are lossy. The
+    // request carries the leader's generation (term) like an OpenFlow
+    // role-request: delivery raises the fence, and a request from an
+    // already-deposed leader gets no reply at all.
     channel_->send(sw, [this, sw, gen]() {
+      if (!switches_[static_cast<std::size_t>(sw)]->admitTerm(options_.term)) return;
       const openflow::TableSnapshot snap =
           switches_[static_cast<std::size_t>(sw)]->snapshot();
       channel_->send(sw, [this, sw, gen, snap]() {
@@ -288,6 +292,7 @@ void RecoveryRun::startRound(int sw, Round round, int attempt) {
     const std::uint64_t xid = recoveryXid(tenant_, roundIndex_, sw);
     channel_->send(sw, [this, sw, gen, xid, ops]() {
       openflow::Switch& ofs = *switches_[static_cast<std::size_t>(sw)];
+      if (!ofs.admitTerm(options_.term)) return;  // fenced: no apply, no ack
       if (ofs.acceptXid(xid)) {
         // Applied atomically (one OpenFlow bundle-commit): removes first so
         // the table never holds both an entry and its replacement.

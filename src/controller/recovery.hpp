@@ -119,6 +119,12 @@ struct RecoveryOptions {
   /// Anti-entropy iteration cap: readback -> converge -> readback ... until
   /// a verify round is clean everywhere or this many rounds have run.
   int maxRounds = 8;
+  /// Replicated-controller HA: the recovering leader's term. Modeled on the
+  /// OpenFlow role-request generation_id — the very first readback raises
+  /// the fence on every switch (so a freshly elected leader fences its
+  /// predecessor everywhere, even switches needing zero converge mods), and
+  /// every converge bundle re-asserts it. 0 = legacy single-controller mode.
+  std::uint64_t term = 0;
   /// Guarded for the duration of the run (converge makes counters wobble
   /// exactly like the failure signatures); unguarding at the end reseeds the
   /// monitor's counter baselines. This should be the *new* controller's

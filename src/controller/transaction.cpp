@@ -232,7 +232,9 @@ void ReconfigTransaction::startRound(int sw, Round round, int attempt) {
   // (the *apply* is idempotent, the ack is not — a lost ack must be
   // recoverable by retransmitting the request).
   channel_->send(sw, [this, sw, round]() {
-    applyAtSwitch(sw, round);
+    // A fenced bundle (stale leader term) is dropped without an ack — the
+    // real agent would answer with an error the dead session never reads.
+    if (!applyAtSwitch(sw, round)) return;
     channel_->send(sw, [this, sw, round]() { onAck(sw, round); });
   });
   const std::uint64_t gen = gen_;
@@ -278,9 +280,12 @@ void ReconfigTransaction::onRoundTimeout(int sw, Round round, int attempt,
   });
 }
 
-void ReconfigTransaction::applyAtSwitch(int sw, Round round) {
-  if (finished_) return;
+bool ReconfigTransaction::applyAtSwitch(int sw, Round round) {
+  if (finished_) return true;
   openflow::Switch& ofs = *deployment_->switches[static_cast<std::size_t>(sw)];
+  // Term fence first: a bundle from a deposed leader must not touch the
+  // table, consume an xid, or even bump the barrier counter.
+  if (!ofs.admitTerm(options_.term)) return false;
   SwitchTxState& done = applied_[static_cast<std::size_t>(sw)];
   // Mutating bundles carry an OpenFlow xid; the switch itself refuses
   // re-application (openflow::Switch::acceptXid), which is what makes the
@@ -298,7 +303,7 @@ void ReconfigTransaction::applyAtSwitch(int sw, Round round) {
           abort(ReconfigPhase::kInstall,
                 strFormat("switch %d rejected a flow-mod: %s", sw,
                           s.error().message.c_str()));
-          return;
+          return true;
         }
         ++report_.flowModsInstalled;
       }
@@ -340,6 +345,7 @@ void ReconfigTransaction::applyAtSwitch(int sw, Round round) {
       done.rollbackAcked = true;
       break;
   }
+  return true;
 }
 
 void ReconfigTransaction::onAck(int sw, Round round) {

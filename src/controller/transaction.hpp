@@ -112,6 +112,13 @@ struct ReconfigOptions {
   /// vs. roll-back from durable state alone. Append failures are non-fatal:
   /// a full journal disk must not wedge the live fabric.
   Journal* journal = nullptr;
+  /// Replicated-controller HA (controller/ha.hpp): the issuing leader's
+  /// term. Every mutating bundle (install/barrier/flip/gc/rollback) is
+  /// fenced by openflow::Switch::admitTerm — a switch that has admitted a
+  /// newer-term leader drops the bundle without applying or acking, so a
+  /// deposed leader's round stalls instead of corrupting state. 0 = legacy
+  /// single-controller mode (never fenced, never raises the fence).
+  std::uint64_t term = 0;
   /// Crash injection: die at this point (see CrashPoint). kNone in production.
   CrashPoint crashAt = CrashPoint::kNone;
   /// Called at the instant of an injected crash (after the fence is up),
@@ -211,7 +218,9 @@ class ReconfigTransaction {
   /// phase barrier counts acks against this set only.
   [[nodiscard]] int scopeSize() const { return static_cast<int>(scope_.size()); }
   void startRound(int sw, Round round, int attempt);
-  void applyAtSwitch(int sw, Round round);
+  /// Returns false when the switch's term fence rejected the bundle (the
+  /// delivered request is dropped on the floor: no apply, no ack).
+  bool applyAtSwitch(int sw, Round round);
   void onAck(int sw, Round round);
   void onRoundTimeout(int sw, Round round, int attempt, std::uint64_t gen);
   [[nodiscard]] TimeNs backoffDelay(int sw, int attempt);

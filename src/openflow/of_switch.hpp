@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <unordered_set>
@@ -117,8 +118,16 @@ class Switch {
   /// duplicate (caller should only re-ack).
   bool acceptXid(std::uint64_t xid) {
     const bool fresh = xidsSeen_.insert(xid).second;
-    if (!fresh) ++xidDupHits_;
-    return fresh;
+    if (!fresh) {
+      ++xidDupHits_;
+      return false;
+    }
+    xidOrder_.push_back(xid);
+    while (xidOrder_.size() > xidCacheCapacity_) {
+      xidsSeen_.erase(xidOrder_.front());
+      xidOrder_.pop_front();
+    }
+    return true;
   }
   [[nodiscard]] bool seenXid(std::uint64_t xid) const {
     return xidsSeen_.count(xid) > 0;
@@ -126,6 +135,43 @@ class Switch {
   /// How many duplicate bundles the dedup refused — the visible footprint
   /// of the control channel's at-least-once delivery.
   [[nodiscard]] std::uint64_t xidDupHits() const { return xidDupHits_; }
+
+  /// The dedup cache is bounded (FIFO eviction) so a long-running service
+  /// (`sdtctl serve`) cannot leak memory one xid at a time. The window must
+  /// comfortably cover the channel's retransmit horizon: a duplicate older
+  /// than `capacity` distinct bundles is forgotten and would re-apply.
+  [[nodiscard]] std::size_t xidCacheSize() const { return xidOrder_.size(); }
+  [[nodiscard]] std::size_t xidCacheCapacity() const { return xidCacheCapacity_; }
+  void setXidCacheCapacity(std::size_t capacity) {
+    xidCacheCapacity_ = capacity > 0 ? capacity : 1;
+    while (xidOrder_.size() > xidCacheCapacity_) {
+      xidsSeen_.erase(xidOrder_.front());
+      xidOrder_.pop_front();
+    }
+  }
+
+  /// Controller-term fence (replicated controller HA): every mutating
+  /// bundle from a term-aware controller carries the leader's term; the
+  /// switch tracks the highest term it has ever admitted and refuses
+  /// anything older. A deposed leader that has not yet noticed its lease
+  /// expired keeps emitting bundles at the old term — those are the
+  /// split-brain writes, and this is the line that stops them. Term 0 is
+  /// the legacy single-controller namespace: always admitted, never raises
+  /// the fence. Returns true when the bundle may apply.
+  bool admitTerm(std::uint64_t term) {
+    if (term == 0) return true;
+    if (term < controllerTerm_) {
+      ++fencedWrites_;
+      return false;
+    }
+    controllerTerm_ = term;
+    return true;
+  }
+  /// Highest controller term this switch has admitted (0 = never fenced).
+  [[nodiscard]] std::uint64_t controllerTerm() const { return controllerTerm_; }
+  /// How many stale-term bundles the fence rejected — the observable
+  /// footprint of a split brain.
+  [[nodiscard]] std::uint64_t fencedWrites() const { return fencedWrites_; }
 
   /// Flow-stats readback over the control channel (crash recovery):
   /// snapshot the table and ingress configuration as of now.
@@ -146,7 +192,10 @@ class Switch {
     portEpochs_.clear();
     barriersSeen_ = 0;
     xidsSeen_.clear();
+    xidOrder_.clear();
     xidDupHits_ = 0;
+    controllerTerm_ = 0;
+    fencedWrites_ = 0;
     resetStats();
   }
 
@@ -164,6 +213,11 @@ class Switch {
   std::uint64_t barriersSeen_ = 0;
   std::uint64_t xidDupHits_ = 0;
   std::unordered_set<std::uint64_t> xidsSeen_;
+  /// Insertion order backing FIFO eviction of xidsSeen_.
+  std::deque<std::uint64_t> xidOrder_;
+  std::size_t xidCacheCapacity_ = 4096;
+  std::uint64_t controllerTerm_ = 0;
+  std::uint64_t fencedWrites_ = 0;
 };
 
 }  // namespace sdt::openflow
