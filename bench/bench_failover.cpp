@@ -82,6 +82,7 @@ FailoverOutcome runFailover(std::uint64_t seed, controller::CrashPoint crashAt,
   controller::ReconfigOptions topt;
   topt.journal = &ha.leaderJournal();
   topt.term = ha.termOf(ha.leaderId());
+  topt.leaderId = ha.leaderId();
   topt.crashAt = crashAt;
   topt.onCrash = [&ha]() { ha.kill(ha.leaderId()); };
   controller::ReconfigTransaction tx(sim, fabric, ha.deployment(),

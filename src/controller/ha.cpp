@@ -18,6 +18,13 @@ ReplicatedController::ReplicatedController(sim::Simulator& sim,
       repl_(&replication),
       config_(config) {
   if (numReplicas < 1) numReplicas = 1;
+  // A non-positive ack window would make pumpStream's in-flight test always
+  // true and silently disable streaming; the queue cap below the window
+  // would drop every backlog before it could drain.
+  if (config_.ackWindow < 1) config_.ackWindow = 1;
+  if (config_.sendQueueCap < config_.ackWindow) {
+    config_.sendQueueCap = config_.ackWindow;
+  }
   replicas_.reserve(static_cast<std::size_t>(numReplicas));
   for (int id = 0; id < numReplicas; ++id) {
     auto r = std::make_unique<Replica>();
@@ -29,7 +36,10 @@ ReplicatedController::ReplicatedController(sim::Simulator& sim,
     // that keeps journaling still streams — standbys drop its stale-term
     // frames, exactly like the switches fence its flow-mods.
     r->journal->setAppendObserver(
-        [this, id](const JournalRecord& rec) { onLeaderAppend(id, rec); });
+        [this, tok = alive_, id](const JournalRecord& rec) {
+          if (!*tok) return;
+          onLeaderAppend(id, rec);
+        });
     replicas_.push_back(std::move(r));
   }
   rep(0).leader = true;
@@ -38,7 +48,10 @@ ReplicatedController::ReplicatedController(sim::Simulator& sim,
   leaderId_ = 0;
 }
 
-ReplicatedController::~ReplicatedController() { stopped_ = true; }
+ReplicatedController::~ReplicatedController() {
+  *alive_ = false;  // scheduled callbacks drained after this point no-op
+  stopped_ = true;
+}
 
 int ReplicatedController::rankOf(int id) const {
   int rank = 0;
@@ -79,6 +92,8 @@ ReplicaStatus ReplicatedController::status(int replica) const {
   st.framesOutOfOrder = r.framesOutOfOrder;
   st.gapCatchups = r.gapCatchups;
   st.snapshotsInstalled = r.snapshotsInstalled;
+  st.sendQueueDepth = r.sendQueue.size();
+  st.queueOverflows = r.queueOverflows;
   return st;
 }
 
@@ -111,17 +126,18 @@ void ReplicatedController::routePortFailure(const PortFailure& failure) {
   if (failureHandler_) failureHandler_(failure);
 }
 
-void ReplicatedController::drainPendingFailures() {
+int ReplicatedController::drainPendingFailures() {
   std::vector<PortFailure> parked;
   parked.swap(pendingFailures_);
-  pendingReport_.pendingFailuresDelivered = static_cast<int>(parked.size());
   if (failureHandler_) {
     for (const PortFailure& f : parked) failureHandler_(f);
   }
+  return static_cast<int>(parked.size());
 }
 
 void ReplicatedController::attachMetrics(obs::Registry& registry) {
-  registry.addCollector([this, &registry]() {
+  registry.addCollector([this, tok = alive_, &registry]() {
+    if (!*tok) return;
     registry.gauge("sdt_ha_term", {}, "Highest controller term claimed")
         .set(static_cast<double>(term_));
     registry.gauge("sdt_ha_leader", {}, "Current leader replica id")
@@ -140,12 +156,24 @@ void ReplicatedController::attachMetrics(obs::Registry& registry) {
     registry
         .counter("sdt_ha_heartbeats_total", {}, "Lease heartbeats sent")
         .syncTo(heartbeatsSent_);
+    registry
+        .counter("sdt_ha_stale_recovery_completions_total", {},
+                 "Recovery completions dropped for a mismatched (term, leader)")
+        .syncTo(staleRecoveryCompletions_);
     std::uint64_t catchups = 0;
-    for (const auto& r : replicas_) catchups += r->gapCatchups;
+    std::uint64_t overflows = 0;
+    for (const auto& r : replicas_) {
+      catchups += r->gapCatchups;
+      overflows += r->queueOverflows;
+    }
     registry
         .counter("sdt_ha_gap_catchups_total", {},
                  "Standby snapshot catch-ups after stream gaps")
         .syncTo(catchups);
+    registry
+        .counter("sdt_ha_stream_queue_overflows_total", {},
+                 "Per-standby stream backlogs dropped at sendQueueCap")
+        .syncTo(overflows);
     if (!failovers_.empty()) {
       registry
           .gauge("sdt_ha_takeover_window_ns", {},
@@ -182,13 +210,54 @@ void ReplicatedController::kill(int replica) {
   r.candidate = false;
   ++r.electionGen;  // a dead candidate never claims
   ++r.leaderGen;    // a dead leader never heartbeats again
+  if (takeover_ && takeover_->leader == replica) {
+    // The dying process takes its in-flight recovery with it: stop the run
+    // (frames already on the wire still land — they left the process) and
+    // drop the attempt, so its completion can never adopt a deployment on
+    // behalf of a corpse or clobber a successor's report.
+    if (takeover_->run != nullptr) takeover_->run->cancel();
+    takeover_.reset();
+    // Port failures keep parking: routePortFailure checks leader liveness.
+    takeoverInProgress_ = false;
+  }
+}
+
+// -- Term / leader admission -------------------------------------------------
+
+bool ReplicatedController::acceptLeader(int to, int from, std::uint64_t term) {
+  Replica& s = rep(to);
+  if (term < s.term) return false;
+  if (term == s.term) {
+    if (from > s.leaderSeen) return false;  // tie: the lower id already won
+    if (from == s.leaderSeen) return true;  // the leader we already follow
+  }
+  // Either a strictly newer term, or a higher-priority (lower-id) rival
+  // claiming the term we are on: adopt it. If this replica was leading, it
+  // is deposed here — the fence already protects the switches; stepping
+  // down stops the wasted heartbeats.
+  const bool sameTermSwitch = term == s.term;
+  if (s.leader) {
+    s.leader = false;
+    ++s.leaderGen;
+  }
+  s.term = term;
+  s.leaderSeen = from;
+  if (sameTermSwitch) {
+    // Two leaders streamed concurrently at this term, so the journals may
+    // have diverged at IDENTICAL sequence numbers — the count-based gap
+    // check cannot see that. Resync from the winner via snapshot.
+    requestCatchup(to, from);
+  }
+  return true;
 }
 
 // -- Heartbeats / lease ------------------------------------------------------
 
 void ReplicatedController::scheduleHeartbeat(int id, std::uint64_t gen) {
-  sim_->scheduleOn(0, config_.heartbeatPeriod,
-                   [this, id, gen]() { heartbeatTick(id, gen); });
+  sim_->scheduleOn(0, config_.heartbeatPeriod, [this, tok = alive_, id, gen]() {
+    if (!*tok) return;
+    heartbeatTick(id, gen);
+  });
 }
 
 void ReplicatedController::heartbeatTick(int id, std::uint64_t gen) {
@@ -199,7 +268,9 @@ void ReplicatedController::heartbeatTick(int id, std::uint64_t gen) {
     if (target->id == id) continue;
     ++heartbeatsSent_;
     repl_->send(target->id,
-                [this, to = target->id, id, term = r.term, lastSeq]() {
+                [this, tok = alive_, to = target->id, id, term = r.term,
+                 lastSeq]() {
+                  if (!*tok) return;
                   onHeartbeat(to, id, term, lastSeq);
                 });
   }
@@ -210,14 +281,9 @@ void ReplicatedController::onHeartbeat(int to, int from, std::uint64_t term,
                                        std::uint64_t lastSeq) {
   Replica& s = rep(to);
   if (stopped_ || !s.alive) return;
-  if (term < s.term) return;  // a deposed leader's heartbeat: ignore
-  if (s.leader && term > s.term) {
-    // Someone claimed a newer term: step down. The fence already protects
-    // the switches; this stops the wasted heartbeats.
-    s.leader = false;
-    ++s.leaderGen;
-  }
-  s.term = std::max(s.term, term);
+  // Stale or tie-losing leader's heartbeat: ignore. (It will hear the
+  // winner's heartbeat and step down; our silence just starves its acks.)
+  if (!acceptLeader(to, from, term)) return;
   s.lastHeartbeatAt = sim_->now();
   if (s.candidate) {
     s.candidate = false;
@@ -237,15 +303,18 @@ void ReplicatedController::onHeartbeat(int to, int from, std::uint64_t term,
 
 void ReplicatedController::sendAck(int leader, int standby) {
   Replica& s = rep(standby);
-  repl_->send(leader,
-              [this, leader, standby, applied = s.journal->nextSeq() - 1]() {
-                onStreamAck(leader, standby, applied);
-              });
+  repl_->send(leader, [this, tok = alive_, leader, standby,
+                       applied = s.journal->nextSeq() - 1]() {
+    if (!*tok) return;
+    onStreamAck(leader, standby, applied);
+  });
 }
 
 void ReplicatedController::scheduleLeaseCheck(int id) {
-  sim_->scheduleOn(0, config_.leaseInterval / 2,
-                   [this, id]() { leaseCheck(id); });
+  sim_->scheduleOn(0, config_.leaseInterval / 2, [this, tok = alive_, id]() {
+    if (!*tok) return;
+    leaseCheck(id);
+  });
 }
 
 void ReplicatedController::leaseCheck(int id) {
@@ -263,7 +332,8 @@ void ReplicatedController::leaseCheck(int id) {
   const TimeNs expiredAt = s.lastHeartbeatAt + config_.leaseInterval;
   const TimeNs stagger =
       static_cast<TimeNs>(rankOf(id)) * config_.electionStagger;
-  sim_->scheduleOn(0, stagger, [this, id, gen, expiredAt]() {
+  sim_->scheduleOn(0, stagger, [this, tok = alive_, id, gen, expiredAt]() {
+    if (!*tok) return;
     Replica& c = rep(id);
     if (stopped_ || !c.alive || gen != c.electionGen || c.leader) return;
     if (sim_->now() - c.lastHeartbeatAt <= config_.leaseInterval) {
@@ -287,16 +357,39 @@ void ReplicatedController::claimLeadership(int id, TimeNs leaseExpiredAt) {
   s.leader = true;
   ++s.leaderGen;
   s.term += 1;  // monotonically increasing: the new fencing token
+  s.leaderSeen = id;
   term_ = std::max(term_, s.term);
   leaderId_ = id;
   takeoverInProgress_ = true;
 
-  pendingReport_ = FailoverReport{};
-  pendingReport_.newLeader = id;
-  pendingReport_.fromTerm = s.term - 1;
-  pendingReport_.toTerm = s.term;
-  pendingReport_.leaseExpiredAt = leaseExpiredAt;
-  pendingReport_.takeoverStartedAt = sim_->now();
+  if (takeover_) {
+    // A takeover was still in flight. If it was OURS (a forceTakeover
+    // re-claim), one process never drives two recoveries: cancel the old
+    // run. A rival's run keeps going — the switch fence and the
+    // (term, leader) completion binding make it harmless — but either way
+    // the old attempt is recorded as superseded so failovers() tells the
+    // whole story and nothing silently vanishes.
+    if (takeover_->leader == id && takeover_->run != nullptr) {
+      takeover_->run->cancel();
+    }
+    FailoverReport superseded = std::move(takeover_->report);
+    takeover_.reset();
+    superseded.converged = false;
+    superseded.failure = "superseded by term " + std::to_string(s.term);
+    superseded.convergedAt = sim_->now();
+    failovers_.push_back(std::move(superseded));
+    if (failoverCallback_) failoverCallback_(failovers_.back());
+  }
+
+  takeover_ = std::make_unique<Takeover>();
+  takeover_->term = s.term;
+  takeover_->leader = id;
+  FailoverReport& report = takeover_->report;
+  report.newLeader = id;
+  report.fromTerm = s.term - 1;
+  report.toTerm = s.term;
+  report.leaseExpiredAt = leaseExpiredAt;
+  report.takeoverStartedAt = sim_->now();
 
   // Reset the leader-side stream cursors: assume everyone is current and let
   // cumulative acks / gap detection correct the picture. The window opens
@@ -320,45 +413,65 @@ void ReplicatedController::startFailoverRecovery(int id) {
       planner_ ? planner_(*s.journal)
                : planRecovery(*ctl_, *s.journal, catalog_, config_.deploy);
   if (!plan) {
-    pendingReport_.converged = false;
-    pendingReport_.failure = plan.error().message;
-    pendingReport_.convergedAt = sim_->now();
-    takeoverInProgress_ = false;
-    drainPendingFailures();
-    failovers_.push_back(pendingReport_);
-    if (failoverCallback_) failoverCallback_(failovers_.back());
+    FailoverReport report = std::move(takeover_->report);
+    takeover_.reset();
+    report.converged = false;
+    report.failure = plan.error().message;
+    finishTakeover(std::move(report));
     return;
   }
   RecoveryOptions options;
   options.retry = config_.retry;
   options.maxRounds = config_.recoveryMaxRounds;
   options.term = s.term;
+  options.leaderId = id;
   options.monitor = monitor_;
   options.journal = s.journal.get();
-  recoveries_.push_back(std::make_unique<RecoveryRun>(
+  // The completion is bound to the claiming (term, leader): onFailoverDone
+  // drops it unless this exact takeover is still the live one.
+  auto run = std::make_unique<RecoveryRun>(
       *sim_, *fabric_, switches_, std::move(plan).value(), options,
-      [this, id](const RecoveryReport& report) { onFailoverDone(id, report); }));
+      [this, tok = alive_, id, term = s.term](const RecoveryReport& report) {
+        if (!*tok) return;
+        onFailoverDone(id, term, report);
+      });
+  takeover_->run = run.get();
+  recoveries_.push_back(std::move(run));
   recoveries_.back()->start();
 }
 
-void ReplicatedController::onFailoverDone(int /*id*/,
+void ReplicatedController::onFailoverDone(int id, std::uint64_t term,
                                           const RecoveryReport& report) {
-  pendingReport_.recovery = report;
-  pendingReport_.converged = report.converged;
-  pendingReport_.convergedAt = sim_->now();
+  if (!takeover_ || takeover_->term != term || takeover_->leader != id) {
+    // A completion this takeover did not start: a cascading failover already
+    // superseded the run, or a fenced rival limped to its round cap. Its
+    // deployment does not describe the fabric; drop it, visibly.
+    ++staleRecoveryCompletions_;
+    return;
+  }
+  RecoveryRun* run = takeover_->run;
+  FailoverReport out = std::move(takeover_->report);
+  takeover_.reset();
+  out.recovery = report;
+  out.converged = report.converged;
   if (report.converged) {
-    deployment_ = recoveries_.back()->takeDeployment();
+    deployment_ = run->takeDeployment();
     // adoptDeployment pinned the switch set; recovery returns the same
     // objects, but a caller may start HA pre-adoption in tests.
     switches_ = deployment_.switches;
   } else {
-    pendingReport_.failure = report.failure;
+    out.failure = report.failure;
   }
+  finishTakeover(std::move(out));
+}
+
+void ReplicatedController::finishTakeover(FailoverReport report) {
+  report.convergedAt = sim_->now();
   takeoverInProgress_ = false;
   // Deliver the failures that surfaced inside the takeover window — each
   // exactly once, detection-time epoch intact.
-  drainPendingFailures();
-  failovers_.push_back(pendingReport_);
+  report.pendingFailuresDelivered = drainPendingFailures();
+  failovers_.push_back(std::move(report));
   if (failoverCallback_) failoverCallback_(failovers_.back());
 }
 
@@ -368,7 +481,17 @@ void ReplicatedController::onLeaderAppend(int owner, const JournalRecord& record
   Replica& l = rep(owner);
   if (stopped_ || !l.alive || !l.leader) return;
   for (const auto& target : replicas_) {
-    if (target->id == owner) continue;
+    if (target->id == owner || !target->alive) continue;
+    if (target->sendQueue.size() >=
+        static_cast<std::size_t>(config_.sendQueueCap)) {
+      // The ack window has been stalled long enough to fill the backlog (a
+      // partitioned standby not yet declared dead): drop the whole queue —
+      // the standby's gap detection snapshot-catches-up when it reappears,
+      // which tolerates arbitrary loss — and keep the leader's memory flat.
+      target->sendQueue.clear();
+      ++target->queueOverflows;
+      continue;
+    }
     target->sendQueue.push_back(record);
     pumpStream(owner, target->id);
   }
@@ -385,7 +508,9 @@ void ReplicatedController::pumpStream(int from, int to) {
     s.sendQueue.pop_front();
     s.streamedSeq = std::max(s.streamedSeq, rec.seq);
     ++framesStreamed_;
-    repl_->send(to, [this, to, from, term = l.term, rec = std::move(rec)]() {
+    repl_->send(to, [this, tok = alive_, to, from, term = l.term,
+                     rec = std::move(rec)]() {
+      if (!*tok) return;
       onFrame(to, from, term, rec);
     });
   }
@@ -395,8 +520,8 @@ void ReplicatedController::onFrame(int to, int from, std::uint64_t term,
                                    const JournalRecord& record) {
   Replica& s = rep(to);
   if (stopped_ || !s.alive) return;
-  if (term < s.term) return;  // stale leader still streaming: fenced
-  s.term = std::max(s.term, term);
+  // Stale or tie-losing leader still streaming: fenced.
+  if (!acceptLeader(to, from, term)) return;
   ++s.framesReceived;
   const std::uint64_t expected = s.journal->nextSeq();
   if (record.seq < expected) {
@@ -432,11 +557,14 @@ void ReplicatedController::requestCatchup(int id, int leaderHint) {
   s.catchupInFlight = true;
   ++s.gapCatchups;
   const std::uint64_t gen = ++s.catchupGen;
-  repl_->send(leaderHint,
-              [this, leaderHint, id]() { onCatchupRequest(leaderHint, id); });
+  repl_->send(leaderHint, [this, tok = alive_, leaderHint, id]() {
+    if (!*tok) return;
+    onCatchupRequest(leaderHint, id);
+  });
   // Backstop: a lost request or reply must not wedge the flag forever; the
   // next gap signal (frame or heartbeat) re-requests.
-  sim_->scheduleOn(0, config_.leaseInterval, [this, id, gen]() {
+  sim_->scheduleOn(0, config_.leaseInterval, [this, tok = alive_, id, gen]() {
+    if (!*tok) return;
     Replica& r = rep(id);
     if (stopped_ || !r.alive || gen != r.catchupGen) return;
     r.catchupInFlight = false;
@@ -448,18 +576,20 @@ void ReplicatedController::onCatchupRequest(int to, int from) {
   if (stopped_ || !l.alive || !l.leader) return;
   auto bytes = l.storage.read();
   if (!bytes) return;
-  repl_->send(from, [this, from, term = l.term,
+  repl_->send(from, [this, tok = alive_, from, leader = l.id, term = l.term,
                      image = std::move(bytes).value()]() {
-    onSnapshotInstall(from, term, image);
+    if (!*tok) return;
+    onSnapshotInstall(from, leader, term, image);
   });
 }
 
-void ReplicatedController::onSnapshotInstall(int to, std::uint64_t term,
+void ReplicatedController::onSnapshotInstall(int to, int from,
+                                             std::uint64_t term,
                                              const std::string& bytes) {
   Replica& s = rep(to);
   if (stopped_ || !s.alive) return;
-  if (term < s.term) return;  // snapshot from a deposed leader
-  s.term = std::max(s.term, term);
+  // Snapshot from a deposed or tie-losing leader: refuse the image.
+  if (!acceptLeader(to, from, term)) return;
   if (auto st = s.storage.replaceAll(bytes); !st) return;
   s.journal->rescan();
   s.prevHbExpected = 0;  // fresh image: restart the stall detector

@@ -12,7 +12,13 @@
 //                  priority live standby moves first and everyone else hears
 //                  its claim heartbeat before their own timer fires) —
 //                  claims leadership under term = (highest term seen) + 1.
-//                  Terms only grow; they are the fencing tokens.
+//                  Terms only grow; they are the fencing tokens. Two
+//                  candidates that both miss the other's claim heartbeat can
+//                  claim the SAME term — that tie resolves deterministically
+//                  toward the lower replica id, on both sides of the fence:
+//                  a leader that hears an equal-term heartbeat from a lower
+//                  id steps down, and every switch fences an equal-term
+//                  bundle from a higher id (admitTerm tracks (term, leader)).
 //
 //   fencing        Every flow-mod/barrier bundle and every recovery readback
 //                  carries the issuing leader's term (ReconfigOptions::term /
@@ -79,8 +85,15 @@ struct HaConfig {
   /// the replication channel drops its claim heartbeats for a whole stagger.
   TimeNs electionStagger = usToNs(300.0);
   /// Journal streaming flow control: max frames past the last cumulative ack
-  /// before the leader queues instead of sending.
+  /// before the leader queues instead of sending. Clamped to >= 1 (a
+  /// non-positive window would silently disable streaming).
   int ackWindow = 16;
+  /// Leader-side bound on frames queued behind a stalled ack window (a
+  /// standby that is partitioned but not declared dead). On overflow the
+  /// whole backlog is dropped and the standby repairs the resulting gap via
+  /// snapshot catch-up, which tolerates arbitrary loss. Clamped to
+  /// >= ackWindow.
+  int sendQueueCap = 1024;
   /// Retry/backoff shape for the failover RecoveryRun's rounds.
   retry::RetryPolicy retry;
   /// Anti-entropy round cap for the failover RecoveryRun.
@@ -100,6 +113,8 @@ struct ReplicaStatus {
   std::uint64_t framesOutOfOrder = 0;
   std::uint64_t gapCatchups = 0;     ///< snapshot catch-ups requested
   std::uint64_t snapshotsInstalled = 0;
+  std::size_t sendQueueDepth = 0;    ///< leader-side frames queued toward us
+  std::uint64_t queueOverflows = 0;  ///< backlogs dropped at sendQueueCap
 };
 
 /// One completed (or failed) takeover.
@@ -126,7 +141,12 @@ class ReplicatedController {
   /// leader<->switch OpenFlow channel; `replication` is the replica<->replica
   /// channel (endpoint id == replica id; disconnect windows model
   /// partitions). Replica 0 starts as leader at term 1; lower id = higher
-  /// election priority. All pointees must outlive this object.
+  /// election priority. All pointees must outlive this object. Destroying
+  /// the controller while HA timer/stream events are still queued on the
+  /// simulator is safe (each scheduled callback holds a liveness token and
+  /// no-ops after destruction) — but a failover RecoveryRun still in flight
+  /// follows RecoveryRun's own rule: the controller, which owns it, must
+  /// outlive the simulation window that run executes in.
   ReplicatedController(sim::Simulator& sim, SdtController& ctl,
                        sim::ControlChannel& fabric,
                        sim::ControlChannel& replication, int numReplicas,
@@ -177,7 +197,10 @@ class ReplicatedController {
   void stop();
 
   /// Kill a replica: its timers, stream handling, and (if leader) heartbeats
-  /// all cease, exactly like a SIGKILL'd process. No revival.
+  /// all cease, exactly like a SIGKILL'd process — including an in-flight
+  /// failover recovery it was driving, which is cancelled (frames already on
+  /// the wire still land; nothing new is sent, and its completion is never
+  /// delivered). No revival.
   void kill(int replica);
 
   /// Test/operator hook: make `replica` claim leadership *now* with
@@ -209,6 +232,12 @@ class ReplicatedController {
   }
   /// Sum of Switch::fencedWrites over the adopted deployment's switches.
   [[nodiscard]] std::uint64_t fencedWritesTotal() const;
+  /// RecoveryRun completions dropped because their (term, leader) no longer
+  /// matched the live takeover — the observable footprint of a cascading
+  /// failover or a fenced rival finishing late.
+  [[nodiscard]] std::uint64_t staleRecoveryCompletions() const {
+    return staleRecoveryCompletions_;
+  }
 
  private:
   struct Replica {
@@ -217,6 +246,10 @@ class ReplicatedController {
     bool leader = false;
     bool candidate = false;
     std::uint64_t term = 0;  ///< highest term seen (== own term when leader)
+    /// Which replica this one believes leads at `term` (own id while
+    /// leading). Ties at equal term resolve toward the lower id, so
+    /// (term, -leaderSeen) is lexicographically monotonic — no oscillation.
+    int leaderSeen = 0;
     MemoryJournalStorage storage;
     std::unique_ptr<Journal> journal;
 
@@ -238,6 +271,7 @@ class ReplicatedController {
     std::deque<JournalRecord> sendQueue;
     std::uint64_t streamedSeq = 0;   ///< highest seq shipped
     std::uint64_t lastAckedSeq = 0;  ///< cumulative ack received
+    std::uint64_t queueOverflows = 0;  ///< sendQueue backlogs dropped at cap
 
     std::uint64_t electionGen = 0;  ///< cancels scheduled claim events
     std::uint64_t leaderGen = 0;    ///< cancels stale heartbeat chains
@@ -257,7 +291,19 @@ class ReplicatedController {
   void leaseCheck(int id);
   void claimLeadership(int id, TimeNs leaseExpiredAt);
   void startFailoverRecovery(int id);
-  void onFailoverDone(int id, const RecoveryReport& report);
+  void onFailoverDone(int id, std::uint64_t term, const RecoveryReport& report);
+  /// Finish the current takeover attempt (success, planning failure, or
+  /// supersession) and publish its report.
+  void finishTakeover(FailoverReport report);
+
+  /// Term/leader admission gate for every replica->replica message landing
+  /// at `to`. Rejects stale terms and equal-term messages from a
+  /// higher-than-believed leader id; accepts (updating term/leaderSeen,
+  /// deposing `to` if it was leading) otherwise. A leader switch at the
+  /// SAME term means the streams may have diverged at identical seqs —
+  /// count-based gap detection cannot see that, so the replica resyncs via
+  /// snapshot catch-up from the winner.
+  bool acceptLeader(int to, int from, std::uint64_t term);
 
   void onLeaderAppend(int owner, const JournalRecord& record);
   void pumpStream(int from, int to);
@@ -265,11 +311,13 @@ class ReplicatedController {
   void onStreamAck(int to, int from, std::uint64_t applied);
   void requestCatchup(int id, int leaderHint);
   void onCatchupRequest(int to, int from);
-  void onSnapshotInstall(int to, std::uint64_t term, const std::string& bytes);
+  void onSnapshotInstall(int to, int from, std::uint64_t term,
+                         const std::string& bytes);
   void sendAck(int from, int to);
 
   void routePortFailure(const PortFailure& failure);
-  void drainPendingFailures();
+  /// Deliver every parked PortFailure (exactly once each); returns how many.
+  int drainPendingFailures();
 
   sim::Simulator* sim_;
   SdtController* ctl_;
@@ -293,8 +341,19 @@ class ReplicatedController {
   /// Completed runs are kept: late duplicate control messages may still
   /// reference them (same lifetime rule as ReconfigTransaction).
   std::vector<std::unique_ptr<RecoveryRun>> recoveries_;
-  FailoverReport pendingReport_;
+  /// The in-flight takeover attempt. A RecoveryRun completion counts only
+  /// if it matches this takeover's (term, leader) — a cascading failover
+  /// (or a deposed leader's fenced run finishing late) must not adopt the
+  /// wrong run's deployment or clobber the live attempt's report.
+  struct Takeover {
+    std::uint64_t term = 0;
+    int leader = -1;
+    RecoveryRun* run = nullptr;  ///< owned by recoveries_
+    FailoverReport report;
+  };
+  std::unique_ptr<Takeover> takeover_;
   std::vector<FailoverReport> failovers_;
+  std::uint64_t staleRecoveryCompletions_ = 0;
 
   std::function<void(const PortFailure&)> failureHandler_;
   std::function<void(const FailoverReport&)> failoverCallback_;
@@ -302,6 +361,11 @@ class ReplicatedController {
 
   std::uint64_t framesStreamed_ = 0;
   std::uint64_t heartbeatsSent_ = 0;
+
+  /// Liveness token for callbacks scheduled on the simulator / channels:
+  /// every lambda captures a copy and returns early once the destructor
+  /// flips it, so events drained after this object dies touch nothing.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace sdt::controller

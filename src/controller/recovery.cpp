@@ -276,7 +276,10 @@ void RecoveryRun::startRound(int sw, Round round, int attempt) {
     // role-request: delivery raises the fence, and a request from an
     // already-deposed leader gets no reply at all.
     channel_->send(sw, [this, sw, gen]() {
-      if (!switches_[static_cast<std::size_t>(sw)]->admitTerm(options_.term)) return;
+      if (!switches_[static_cast<std::size_t>(sw)]->admitTerm(options_.term,
+                                                             options_.leaderId)) {
+        return;
+      }
       const openflow::TableSnapshot snap =
           switches_[static_cast<std::size_t>(sw)]->snapshot();
       channel_->send(sw, [this, sw, gen, snap]() {
@@ -292,7 +295,8 @@ void RecoveryRun::startRound(int sw, Round round, int attempt) {
     const std::uint64_t xid = recoveryXid(tenant_, roundIndex_, sw);
     channel_->send(sw, [this, sw, gen, xid, ops]() {
       openflow::Switch& ofs = *switches_[static_cast<std::size_t>(sw)];
-      if (!ofs.admitTerm(options_.term)) return;  // fenced: no apply, no ack
+      // Fenced: no apply, no ack.
+      if (!ofs.admitTerm(options_.term, options_.leaderId)) return;
       if (ofs.acceptXid(xid)) {
         // Applied atomically (one OpenFlow bundle-commit): removes first so
         // the table never holds both an entry and its replacement.
@@ -564,6 +568,22 @@ void RecoveryRun::finishFailure(const std::string& why) {
   report_.converged = false;
   report_.failure = why;
   finish();
+}
+
+void RecoveryRun::cancel() {
+  if (finished_) return;
+  finished_ = true;
+  cancelled_ = true;
+  ++gen_;  // cancels every outstanding timer and in-flight handler
+  report_.converged = false;
+  report_.failure = "cancelled";
+  report_.finishedAt = sim_->now();
+  traceFinish("cancelled");
+  if (options_.monitor != nullptr) {
+    for (int sw = 0; sw < numSwitches(); ++sw) options_.monitor->unguardSwitch(sw);
+  }
+  // done_ deliberately NOT invoked: the process that would have received the
+  // completion is dead.
 }
 
 void RecoveryRun::finish() {

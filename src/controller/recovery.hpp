@@ -125,6 +125,9 @@ struct RecoveryOptions {
   /// predecessor everywhere, even switches needing zero converge mods), and
   /// every converge bundle re-asserts it. 0 = legacy single-controller mode.
   std::uint64_t term = 0;
+  /// The recovering replica's id (see ReconfigOptions::leaderId): breaks
+  /// same-term ties at the switch fence toward the lower id. -1 = none.
+  int leaderId = -1;
   /// Guarded for the duration of the run (converge makes counters wobble
   /// exactly like the failure signatures); unguarding at the end reseeds the
   /// monitor's counter baselines. This should be the *new* controller's
@@ -210,6 +213,15 @@ class RecoveryRun {
   /// Kick off the first readback round (schedules simulator events).
   void start();
 
+  /// Abandon the run: a SIGKILL'd leader takes its recovery with it.
+  /// Messages already on the control channel still deliver (they left the
+  /// process before it died), but no new round starts, no timer re-arms,
+  /// and the done callback never fires. Guarded switches are unguarded so
+  /// the monitor does not stay suppressed forever. Idempotent; a no-op on
+  /// a finished run.
+  void cancel();
+  [[nodiscard]] bool cancelled() const { return cancelled_; }
+
   [[nodiscard]] bool finished() const { return finished_; }
   [[nodiscard]] const RecoveryReport& report() const { return report_; }
 
@@ -272,6 +284,7 @@ class RecoveryRun {
   Round currentRound_ = Round::kReadback;
   int roundIndex_ = 0;       ///< anti-entropy iteration counter (xid salt)
   bool finished_ = false;
+  bool cancelled_ = false;
   std::uint64_t gen_ = 0;    ///< bumped on round change; stale timers no-op
   RecoveryReport report_;
   Deployment deployment_;

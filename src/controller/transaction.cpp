@@ -285,7 +285,7 @@ bool ReconfigTransaction::applyAtSwitch(int sw, Round round) {
   openflow::Switch& ofs = *deployment_->switches[static_cast<std::size_t>(sw)];
   // Term fence first: a bundle from a deposed leader must not touch the
   // table, consume an xid, or even bump the barrier counter.
-  if (!ofs.admitTerm(options_.term)) return false;
+  if (!ofs.admitTerm(options_.term, options_.leaderId)) return false;
   SwitchTxState& done = applied_[static_cast<std::size_t>(sw)];
   // Mutating bundles carry an OpenFlow xid; the switch itself refuses
   // re-application (openflow::Switch::acceptXid), which is what makes the

@@ -119,6 +119,10 @@ struct ReconfigOptions {
   /// deposed leader's round stalls instead of corrupting state. 0 = legacy
   /// single-controller mode (never fenced, never raises the fence).
   std::uint64_t term = 0;
+  /// The issuing replica's id, the fence's tie-breaker: two leaders that
+  /// claim the same term (both missed the other's claim heartbeat) resolve
+  /// toward the lower id on every switch. -1 = no identity (term-only).
+  int leaderId = -1;
   /// Crash injection: die at this point (see CrashPoint). kNone in production.
   CrashPoint crashAt = CrashPoint::kNone;
   /// Called at the instant of an injected crash (after the fence is up),

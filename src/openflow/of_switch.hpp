@@ -158,17 +158,38 @@ class Switch {
   /// split-brain writes, and this is the line that stops them. Term 0 is
   /// the legacy single-controller namespace: always admitted, never raises
   /// the fence. Returns true when the bundle may apply.
-  bool admitTerm(std::uint64_t term) {
+  ///
+  /// `leaderId` breaks ties: two candidates that miss each other's claim
+  /// heartbeats can claim the SAME term, and the fence must still pick one
+  /// writer — the lower replica id wins, deterministically, on every switch
+  /// (mirroring the election's priority order, so switches and replicas
+  /// agree on the survivor without coordinating). -1 means "no identity"
+  /// (legacy term-only callers): it neither fences ties nor survives them.
+  bool admitTerm(std::uint64_t term, int leaderId = -1) {
     if (term == 0) return true;
     if (term < controllerTerm_) {
       ++fencedWrites_;
       return false;
     }
+    if (term == controllerTerm_ && leaderId >= 0 && controllerLeaderId_ >= 0 &&
+        leaderId > controllerLeaderId_) {
+      ++fencedWrites_;
+      return false;
+    }
+    const bool newTerm = term > controllerTerm_;
     controllerTerm_ = term;
+    if (newTerm) {
+      controllerLeaderId_ = leaderId;
+    } else if (leaderId >= 0 &&
+               (controllerLeaderId_ < 0 || leaderId < controllerLeaderId_)) {
+      controllerLeaderId_ = leaderId;
+    }
     return true;
   }
   /// Highest controller term this switch has admitted (0 = never fenced).
   [[nodiscard]] std::uint64_t controllerTerm() const { return controllerTerm_; }
+  /// Winning leader id at controllerTerm() (-1 = unknown / term-only caller).
+  [[nodiscard]] int controllerLeaderId() const { return controllerLeaderId_; }
   /// How many stale-term bundles the fence rejected — the observable
   /// footprint of a split brain.
   [[nodiscard]] std::uint64_t fencedWrites() const { return fencedWrites_; }
@@ -195,6 +216,7 @@ class Switch {
     xidOrder_.clear();
     xidDupHits_ = 0;
     controllerTerm_ = 0;
+    controllerLeaderId_ = -1;
     fencedWrites_ = 0;
     resetStats();
   }
@@ -217,6 +239,7 @@ class Switch {
   std::deque<std::uint64_t> xidOrder_;
   std::size_t xidCacheCapacity_ = 4096;
   std::uint64_t controllerTerm_ = 0;
+  int controllerLeaderId_ = -1;
   std::uint64_t fencedWrites_ = 0;
 };
 

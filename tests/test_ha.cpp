@@ -22,6 +22,7 @@
 #include "controller/recovery.hpp"
 #include "controller/table_diff.hpp"
 #include "controller/transaction.hpp"
+#include "openflow/of_switch.hpp"
 #include "routing/shortest_path.hpp"
 #include "sim/builder.hpp"
 #include "sim/consistency.hpp"
@@ -204,6 +205,7 @@ HaOutcome runHaCell(controller::CrashPoint crashAt, bool lossyFabric,
   controller::ReconfigOptions topt;
   topt.journal = &ha.leaderJournal();
   topt.term = ha.termOf(ha.leaderId());
+  topt.leaderId = ha.leaderId();
   topt.crashAt = crashAt;
   topt.onCrash = [&ha]() { ha.kill(ha.leaderId()); };
   controller::ReconfigTransaction tx(sim, fabric, ha.deployment(),
@@ -354,6 +356,7 @@ TEST(HaFailover, SplitBrainStaleLeaderIsFencedEverywhere) {
   controller::ReconfigOptions topt;
   topt.journal = &ha.leaderJournal();
   topt.term = ha.termOf(ha.leaderId());
+  topt.leaderId = ha.leaderId();
   controller::ReconfigTransaction tx(sim, fabric, ha.deployment(),
                                      std::move(planR).value(), topt);
   sim.schedule(usToNs(100.0), [&tx]() { tx.start(); });
@@ -434,6 +437,7 @@ TEST(HaFailover, ZeroMixedEpochPacketsAcrossTakeover) {
   controller::ReconfigOptions topt;
   topt.journal = &ha.leaderJournal();
   topt.term = ha.termOf(ha.leaderId());
+  topt.leaderId = ha.leaderId();
   topt.crashAt = controller::CrashPoint::kPostFlip;
   topt.onCrash = [&ha]() { ha.kill(ha.leaderId()); };
   controller::ReconfigTransaction tx(sim, fabric, ha.deployment(),
@@ -589,6 +593,7 @@ TEST(HaStreaming, CompactionDuringPartitionHandsStandbyCheckpointPlusSuffix) {
   controller::ReconfigOptions topt;
   topt.journal = &ha.leaderJournal();
   topt.term = ha.termOf(ha.leaderId());
+  topt.leaderId = ha.leaderId();
   topt.crashAt = controller::CrashPoint::kPostFlip;  // leaves the tx open
   controller::ReconfigTransaction tx(sim, fabric, ha.deployment(),
                                      std::move(planR).value(), topt);
@@ -916,6 +921,7 @@ TEST(HaTenant, MidSliceUpdateFailoverRollsForwardWithoutTouchingCoTenant) {
   controller::ReconfigOptions topt;
   topt.journal = &ha.leaderJournal();
   topt.term = ha.termOf(ha.leaderId());
+  topt.leaderId = ha.leaderId();
   topt.crashAt = controller::CrashPoint::kPostFlip;
   topt.onCrash = [&ha]() { ha.kill(ha.leaderId()); };
   controller::ReconfigTransaction tx(sim, fabric,
@@ -961,6 +967,336 @@ TEST(HaTenant, MidSliceUpdateFailoverRollsForwardWithoutTouchingCoTenant) {
   EXPECT_EQ(mgr.numTenants(), 2);
   ASSERT_NE(mgr.slice(1), nullptr);
   ASSERT_NE(mgr.slice(2), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Same-term ties. Two candidates that both miss the other's claim heartbeat
+// claim the SAME term; the tie must resolve deterministically toward the
+// lower replica id on every switch and every replica — never two unfenced
+// writers.
+// ---------------------------------------------------------------------------
+
+TEST(HaTermFence, SameTermTieBreaksTowardLowerReplicaId) {
+  openflow::Switch sw(0, 4);
+  // Term-only legacy callers neither fence ties nor survive them.
+  EXPECT_TRUE(sw.admitTerm(1));
+  EXPECT_EQ(sw.controllerLeaderId(), -1);
+  // First identified writer at term 2.
+  EXPECT_TRUE(sw.admitTerm(2, 2));
+  EXPECT_EQ(sw.controllerTerm(), 2u);
+  EXPECT_EQ(sw.controllerLeaderId(), 2);
+  // Equal term, higher id: fenced. Equal term, same id: admitted.
+  EXPECT_FALSE(sw.admitTerm(2, 3));
+  EXPECT_EQ(sw.fencedWrites(), 1u);
+  EXPECT_TRUE(sw.admitTerm(2, 2));
+  // Equal term, LOWER id: the higher-priority rival wins the switch — and
+  // from then on the old writer is fenced, regardless of arrival order.
+  EXPECT_TRUE(sw.admitTerm(2, 1));
+  EXPECT_EQ(sw.controllerLeaderId(), 1);
+  EXPECT_FALSE(sw.admitTerm(2, 2));
+  EXPECT_EQ(sw.fencedWrites(), 2u);
+  // A strictly newer term admits whoever claims it; stale terms stay fenced.
+  EXPECT_TRUE(sw.admitTerm(3, 5));
+  EXPECT_EQ(sw.controllerLeaderId(), 5);
+  EXPECT_FALSE(sw.admitTerm(2, 0));
+  // Term 0 stays the always-admitted legacy namespace.
+  EXPECT_TRUE(sw.admitTerm(0));
+  // Power-cycle resets the fence and the tie-breaker with it.
+  sw.reboot();
+  EXPECT_EQ(sw.controllerTerm(), 0u);
+  EXPECT_EQ(sw.controllerLeaderId(), -1);
+  EXPECT_EQ(sw.fencedWrites(), 0u);
+}
+
+TEST(HaFailover, SameTermDuelResolvesToLowerIdEverywhere) {
+  const topo::Topology from = topo::makeLine(6);
+  const topo::Topology to = topo::makeRing(6);  // same plant as the baseline
+  routing::ShortestPathRouting rFrom(from);
+  auto plantR = projection::planPlant({&from, &to}, {.numSwitches = 2});
+  ASSERT_TRUE(plantR.ok());
+  controller::SdtController ctl(plantR.value());
+  auto depR = ctl.deploy(from, rFrom);
+  ASSERT_TRUE(depR.ok());
+  controller::Deployment dep = std::move(depR).value();
+
+  sim::Simulator sim;
+  sim::ControlChannel fabric(sim, faultSeed());
+  sim::ControlChannelConfig rcfg;
+  rcfg.baseDelay = 1'000;
+  rcfg.jitter = 500;
+  sim::ControlChannel repl(sim, faultSeed() + 101, rcfg);
+
+  controller::HaConfig hcfg;
+  hcfg.deploy.requireDeadlockFree = false;
+  controller::ReplicatedController ha(sim, ctl, fabric, repl, 3, hcfg);
+  controller::IntentCatalog catalog;
+  catalog[from.name()] = {&from, &rFrom};
+  ha.setCatalog(catalog);
+  ASSERT_TRUE(ha.adoptDeployment(dep).ok());
+  ha.start();
+
+  // Replica 2 claims, and replica 1 claims 200ns later — before 2's claim
+  // heartbeat (>= 1us replication delay) can reach it. Both claim term 2:
+  // the dropped-claim-heartbeat race the electionStagger cannot close.
+  sim.schedule(usToNs(150.0), [&ha]() { ha.forceTakeover(2); });
+  sim.schedule(usToNs(150.2), [&ha]() { ha.forceTakeover(1); });
+  sim.runUntil(msToNs(50.0));
+
+  // Exactly one leader survives the duel: the lower id. The loser heard the
+  // winner's equal-term heartbeat and stepped down.
+  EXPECT_TRUE(ha.isLeader(1));
+  EXPECT_FALSE(ha.isLeader(2));
+  EXPECT_EQ(ha.leaderId(), 1);
+  EXPECT_EQ(ha.term(), 2u);
+  for (int r = 0; r < ha.numReplicas(); ++r) {
+    EXPECT_EQ(ha.termOf(r), 2u) << "replica " << r;
+  }
+
+  // The loser's recovery kept writing at (term 2, id 2); every delivery
+  // after the winner touched a switch was fenced — and the fabric converged
+  // on exactly the winner's (reinstalled line@1) configuration.
+  EXPECT_GT(ha.fencedWritesTotal(), 0u);
+  EXPECT_TRUE(pureEpoch(ha.deployment().switches, 1));
+  EXPECT_EQ(fabricFingerprint(ha.deployment().switches),
+            crashFreeFingerprint(false));
+
+  // failovers() tells the whole story: replica 2's attempt superseded,
+  // replica 1's converged — and the takeover window is closed.
+  ASSERT_EQ(ha.failovers().size(), 2u);
+  EXPECT_EQ(ha.failovers().front().newLeader, 2);
+  EXPECT_FALSE(ha.failovers().front().converged);
+  EXPECT_EQ(ha.failovers().back().newLeader, 1);
+  EXPECT_TRUE(ha.failovers().back().converged)
+      << ha.failovers().back().failure;
+  EXPECT_FALSE(ha.takeoverInProgress());
+}
+
+// ---------------------------------------------------------------------------
+// Cascading failover: the first successor dies mid-recovery. Its RecoveryRun
+// must be cancelled with it, and its completion must never adopt a
+// deployment or clobber the second successor's takeover.
+// ---------------------------------------------------------------------------
+
+TEST(HaFailover, CascadingTakeoverBindsRecoveryToClaimingTerm) {
+  const topo::Topology from = topo::makeLine(6);
+  const topo::Topology to = topo::makeRing(6);  // same plant as the baseline
+  routing::ShortestPathRouting rFrom(from);
+  auto plantR = projection::planPlant({&from, &to}, {.numSwitches = 2});
+  ASSERT_TRUE(plantR.ok());
+  controller::SdtController ctl(plantR.value());
+  auto depR = ctl.deploy(from, rFrom);
+  ASSERT_TRUE(depR.ok());
+  controller::Deployment dep = std::move(depR).value();
+
+  sim::Simulator sim;
+  sim::ControlChannel fabric(sim, faultSeed());
+  sim::ControlChannelConfig rcfg;
+  rcfg.baseDelay = 1'000;
+  rcfg.jitter = 500;
+  sim::ControlChannel repl(sim, faultSeed() + 101, rcfg);
+
+  controller::HaConfig hcfg;
+  hcfg.deploy.requireDeadlockFree = false;
+  controller::ReplicatedController ha(sim, ctl, fabric, repl, 3, hcfg);
+  controller::IntentCatalog catalog;
+  catalog[from.name()] = {&from, &rFrom};
+  ha.setCatalog(catalog);
+  ASSERT_TRUE(ha.adoptDeployment(dep).ok());
+  ha.start();
+
+  // Kill the original leader; replica 1 takes over at term 2 and dies 3us
+  // later — mid-recovery (one fabric readback round-trip alone is >= 4us).
+  // Replica 2 then claims term 3 (it heard 1's claim heartbeat first).
+  sim.schedule(usToNs(150.0), [&ha]() { ha.kill(0); });
+  sim.schedule(usToNs(200.0), [&ha]() { ha.forceTakeover(1); });
+  sim.schedule(usToNs(203.0), [&ha]() { ha.kill(1); });
+  sim.schedule(usToNs(210.0), [&ha]() { ha.forceTakeover(2); });
+  sim.runUntil(msToNs(50.0));
+
+  // Only the surviving successor's takeover is recorded (the corpse's
+  // attempt died with it, run cancelled, completion never delivered), and
+  // the adopted deployment is the term-3 run's.
+  ASSERT_EQ(ha.failovers().size(), 1u);
+  const controller::FailoverReport& report = ha.failovers().back();
+  ASSERT_TRUE(report.converged) << report.failure;
+  EXPECT_EQ(report.newLeader, 2);
+  EXPECT_EQ(report.fromTerm, 2u);
+  EXPECT_EQ(report.toTerm, 3u);
+  EXPECT_TRUE(ha.isLeader(2));
+  EXPECT_EQ(ha.term(), 3u);
+  EXPECT_FALSE(ha.takeoverInProgress());
+  EXPECT_EQ(ha.staleRecoveryCompletions(), 0u);
+  EXPECT_TRUE(pureEpoch(ha.deployment().switches, 1));
+  EXPECT_EQ(fabricFingerprint(ha.deployment().switches),
+            crashFreeFingerprint(false));
+}
+
+// ---------------------------------------------------------------------------
+// Stream flow-control hardening: a zero/negative ack window must stream (not
+// silently wedge), a dead standby must not accumulate a send queue at all,
+// and a partitioned-but-alive standby's backlog is capped and repaired by
+// snapshot catch-up.
+// ---------------------------------------------------------------------------
+
+TEST(HaStreaming, NonPositiveAckWindowIsClampedNotWedged) {
+  const topo::Topology from = topo::makeLine(6);
+  routing::ShortestPathRouting rFrom(from);
+  auto plantR = projection::planPlant({&from}, {.numSwitches = 2});
+  ASSERT_TRUE(plantR.ok());
+  controller::SdtController ctl(plantR.value());
+  auto depR = ctl.deploy(from, rFrom);
+  ASSERT_TRUE(depR.ok());
+
+  sim::Simulator sim;
+  sim::ControlChannel fabric(sim, faultSeed());
+  sim::ControlChannelConfig rcfg;
+  rcfg.baseDelay = 1'000;
+  rcfg.jitter = 500;
+  sim::ControlChannel repl(sim, faultSeed() + 3, rcfg);
+
+  controller::HaConfig hcfg;
+  hcfg.ackWindow = 0;  // misconfiguration: must clamp to 1, not disable
+  controller::ReplicatedController ha(sim, ctl, fabric, repl, 2, hcfg);
+  ASSERT_TRUE(ha.adoptDeployment(depR.value()).ok());
+  ha.start();
+  sim.runUntil(msToNs(5.0));
+
+  const controller::ReplicaStatus st = ha.status(1);
+  EXPECT_GT(st.framesReceived, 0u) << "ackWindow=0 silently disabled streaming";
+  EXPECT_EQ(st.lastAppliedSeq, ha.leaderJournal().nextSeq() - 1);
+  EXPECT_EQ(st.sendQueueDepth, 0u);
+}
+
+TEST(HaStreaming, DeadStandbyAccumulatesNoSendQueue) {
+  const topo::Topology from = topo::makeLine(6);
+  routing::ShortestPathRouting rFrom(from);
+  auto plantR = projection::planPlant({&from}, {.numSwitches = 2});
+  ASSERT_TRUE(plantR.ok());
+  controller::SdtController ctl(plantR.value());
+  auto depR = ctl.deploy(from, rFrom);
+  ASSERT_TRUE(depR.ok());
+
+  sim::Simulator sim;
+  sim::ControlChannel fabric(sim, faultSeed());
+  sim::ControlChannelConfig rcfg;
+  rcfg.baseDelay = 1'000;
+  rcfg.jitter = 500;
+  sim::ControlChannel repl(sim, faultSeed() + 3, rcfg);
+
+  // Long lease: the live standby must not start an election while we watch
+  // the dead one's queue.
+  controller::HaConfig hcfg;
+  hcfg.leaseInterval = msToNs(500.0);
+  controller::ReplicatedController ha(sim, ctl, fabric, repl, 3, hcfg);
+  ASSERT_TRUE(ha.adoptDeployment(depR.value()).ok());
+  ha.start();
+
+  sim.schedule(usToNs(60.0), [&ha]() { ha.kill(2); });
+  for (int i = 0; i < 64; ++i) {
+    sim.schedule(usToNs(100.0) + i * usToNs(10.0), [&ha, i]() {
+      controller::JournalRecord rec;
+      rec.kind = controller::JournalRecordKind::kDeploy;
+      rec.epoch = static_cast<std::uint32_t>(i + 2);
+      rec.topology = "line6";
+      rec.routing = "shortest-path";
+      ASSERT_TRUE(ha.leaderJournal().append(rec).ok());
+    });
+  }
+  sim.runUntil(msToNs(10.0));
+
+  // Not one frame queued toward the corpse for the life of the run; the
+  // live standby replicated everything.
+  EXPECT_EQ(ha.status(2).sendQueueDepth, 0u);
+  EXPECT_EQ(ha.status(2).queueOverflows, 0u);
+  EXPECT_EQ(ha.status(1).lastAppliedSeq, ha.leaderJournal().nextSeq() - 1);
+}
+
+TEST(HaStreaming, PartitionedStandbyQueueIsCappedAndRepairedByCatchup) {
+  const topo::Topology from = topo::makeLine(6);
+  routing::ShortestPathRouting rFrom(from);
+  auto plantR = projection::planPlant({&from}, {.numSwitches = 2});
+  ASSERT_TRUE(plantR.ok());
+  controller::SdtController ctl(plantR.value());
+  auto depR = ctl.deploy(from, rFrom);
+  ASSERT_TRUE(depR.ok());
+
+  sim::Simulator sim;
+  sim::ControlChannel fabric(sim, faultSeed());
+  sim::ControlChannelConfig rcfg;
+  rcfg.baseDelay = 1'000;
+  rcfg.jitter = 500;
+  sim::ControlChannel repl(sim, faultSeed() + 3, rcfg);
+
+  // Tight cap so the overflow path triggers quickly; long lease so the
+  // partition cannot turn into an election mid-test.
+  controller::HaConfig hcfg;
+  hcfg.ackWindow = 4;  // cap is clamped to >= ackWindow, so keep it below
+  hcfg.sendQueueCap = 8;
+  hcfg.leaseInterval = msToNs(500.0);
+  controller::ReplicatedController ha(sim, ctl, fabric, repl, 2, hcfg);
+  ASSERT_TRUE(ha.adoptDeployment(depR.value()).ok());
+  ha.start();
+
+  repl.disconnect(1, usToNs(50.0), msToNs(10.0));
+  for (int i = 0; i < 64; ++i) {
+    sim.schedule(usToNs(100.0) + i * usToNs(10.0), [&ha, i]() {
+      controller::JournalRecord rec;
+      rec.kind = controller::JournalRecordKind::kDeploy;
+      rec.epoch = static_cast<std::uint32_t>(i + 2);
+      rec.topology = "line6";
+      rec.routing = "shortest-path";
+      ASSERT_TRUE(ha.leaderJournal().append(rec).ok());
+    });
+  }
+  // Mid-partition: the backlog is bounded by the cap, overflow counted.
+  sim.runUntil(msToNs(5.0));
+  EXPECT_LE(ha.status(1).sendQueueDepth, 8u);
+  EXPECT_GE(ha.status(1).queueOverflows, 1u);
+
+  // After the heal, heartbeat stall detection pulls the full image over and
+  // the standby reconverges byte-identical despite the dropped backlog.
+  sim.runUntil(msToNs(60.0));
+  EXPECT_GE(ha.status(1).snapshotsInstalled, 1u);
+  EXPECT_EQ(ha.status(1).lastAppliedSeq, ha.leaderJournal().nextSeq() - 1);
+  auto leaderBytes = ha.storageOf(0).read();
+  auto standbyBytes = ha.storageOf(1).read();
+  ASSERT_TRUE(leaderBytes.ok());
+  ASSERT_TRUE(standbyBytes.ok());
+  EXPECT_EQ(leaderBytes.value(), standbyBytes.value());
+}
+
+// ---------------------------------------------------------------------------
+// Lifetime: destroying the controller while its heartbeat/lease/stream
+// events are still queued on the simulator must be safe — every scheduled
+// callback holds a liveness token and no-ops after destruction (ASan in the
+// failover-soak job gives this test its teeth).
+// ---------------------------------------------------------------------------
+
+TEST(HaLifetime, DestructionWithQueuedEventsIsSafe) {
+  const topo::Topology from = topo::makeLine(6);
+  routing::ShortestPathRouting rFrom(from);
+  auto plantR = projection::planPlant({&from}, {.numSwitches = 2});
+  ASSERT_TRUE(plantR.ok());
+  controller::SdtController ctl(plantR.value());
+  auto depR = ctl.deploy(from, rFrom);
+  ASSERT_TRUE(depR.ok());
+
+  sim::Simulator sim;
+  sim::ControlChannel fabric(sim, faultSeed());
+  sim::ControlChannelConfig rcfg;
+  rcfg.baseDelay = 1'000;
+  rcfg.jitter = 500;
+  sim::ControlChannel repl(sim, faultSeed() + 3, rcfg);
+
+  auto ha = std::make_unique<controller::ReplicatedController>(
+      sim, ctl, fabric, repl, 3, controller::HaConfig{});
+  ASSERT_TRUE(ha->adoptDeployment(depR.value()).ok());
+  ha->start();
+  // Heartbeat ticks, lease checks, stream frames, and acks are now queued
+  // past this horizon; destroy the controller out from under all of them.
+  sim.runUntil(msToNs(1.0));
+  ha.reset();
+  sim.runUntil(msToNs(10.0));  // drain: every orphaned event must no-op
 }
 
 // ---------------------------------------------------------------------------
