@@ -8,6 +8,7 @@
 
 #include "common/rng.hpp"
 #include "common/strings.hpp"
+#include "partition/streaming.hpp"
 
 namespace sdt::partition {
 
@@ -23,15 +24,29 @@ double PartitionResult::imbalance() const {
   return static_cast<double>(maxLoad) / ideal - 1.0;
 }
 
+double partBalancePenalty(std::int64_t internalWeight, std::int64_t totalEdgeWeight,
+                          int parts, const PartitionOptions& options) {
+  if (internalWeight > 0) return 1.0 / static_cast<double>(internalWeight);
+  if (options.beta <= 0.0) return 0.0;  // the beta term is off entirely
+  // Dominating penalty: beta * penalty must exceed the largest finite
+  // objective, alpha*totalWeight + beta*parts (cut <= total weight and each
+  // feasible part contributes at most 1 to the beta sum).
+  return (options.alpha * static_cast<double>(totalEdgeWeight) +
+          options.beta * static_cast<double>(parts) + 1.0) /
+         options.beta;
+}
+
 PartitionResult evaluateAssignment(const Graph& graph, std::vector<int> assignment,
                                    int parts, const PartitionOptions& options) {
   PartitionResult result;
   result.assignment = std::move(assignment);
   result.partLoad.assign(static_cast<std::size_t>(parts), 0);
   result.internalEdges.assign(static_cast<std::size_t>(parts), 0);
+  std::int64_t totalWeight = 0;
   for (const GraphEdge& e : graph.edges()) {
     const int pu = result.assignment[e.u];
     const int pv = result.assignment[e.v];
+    totalWeight += e.weight;
     result.partLoad[pu] += e.weight;
     result.partLoad[pv] += e.weight;
     if (pu == pv) {
@@ -42,11 +57,11 @@ PartitionResult evaluateAssignment(const Graph& graph, std::vector<int> assignme
   }
   double balancePenalty = 0.0;
   for (const std::int64_t internal : result.internalEdges) {
-    // The paper's beta term: 1/|E_i|. An empty part is maximally penalized.
-    balancePenalty += internal > 0 ? 1.0 / static_cast<double>(internal) : 2.0;
+    balancePenalty += partBalancePenalty(internal, totalWeight, parts, options);
   }
   result.objective = options.alpha * static_cast<double>(result.cutWeight) +
                      options.beta * balancePenalty;
+  result.imbalanceViolated = result.imbalance() > options.maxImbalance + 1e-9;
   return result;
 }
 
@@ -345,6 +360,45 @@ std::vector<int> multilevelBisect(const Graph& graph,
   return side;
 }
 
+/// Ensure side 0 holds at least `need0` vertices and side 1 at least
+/// `need1`, stealing boundary vertices from the surplus side by best cut
+/// gain (deterministic lowest-index tie-break). multilevelBisect balances
+/// *degree load*, so on small or star-like graphs (and whenever beta == 0
+/// disables balance repair) it can park every vertex on one side; each side
+/// must still hold as many vertices as the parts it will recursively host,
+/// or a part downstream is silently stranded empty with partLoad == 0.
+void forceMinSideCounts(const Graph& graph, std::vector<int>& side, int need0,
+                        int need1) {
+  const int n = graph.numVertices();
+  int count0 = 0;
+  for (const int s : side) count0 += s == 0 ? 1 : 0;
+  const auto gainOf = [&](int v) {
+    std::int64_t gain = 0;
+    for (const int e : graph.incidentEdges(v)) {
+      const int u = graph.other(e, v);
+      if (u == v) continue;
+      gain += side[u] != side[v] ? graph.edge(e).weight : -graph.edge(e).weight;
+    }
+    return gain;
+  };
+  while (count0 < need0 || n - count0 < need1) {
+    const int from = count0 < need0 ? 1 : 0;
+    int best = -1;
+    std::int64_t bestGain = 0;
+    for (int v = 0; v < n; ++v) {
+      if (side[v] != from) continue;
+      const std::int64_t g = gainOf(v);
+      if (best == -1 || g > bestGain) {
+        best = v;
+        bestGain = g;
+      }
+    }
+    assert(best != -1 && "surplus side cannot be empty while the other is short");
+    side[best] = 1 - side[best];
+    count0 += from == 1 ? 1 : -1;
+  }
+}
+
 /// Recursive k-way: split the vertex set, extract the induced subgraphs,
 /// and recurse until every branch is a single part.
 void kWay(const Graph& graph, const std::vector<std::int64_t>& weights,
@@ -356,7 +410,11 @@ void kWay(const Graph& graph, const std::vector<std::int64_t>& weights,
   }
   const int leftParts = (parts + 1) / 2;
   const double fraction = static_cast<double>(leftParts) / static_cast<double>(parts);
-  const std::vector<int> side = multilevelBisect(graph, weights, fraction, options, rng);
+  std::vector<int> side = multilevelBisect(graph, weights, fraction, options, rng);
+  // The top-level parts <= numVertices guarantee must hold per-branch too.
+  if (graph.numVertices() >= parts) {
+    forceMinSideCounts(graph, side, leftParts, parts - leftParts);
+  }
 
   for (int half = 0; half < 2; ++half) {
     std::vector<int> subIds;
@@ -385,7 +443,95 @@ void kWay(const Graph& graph, const std::vector<std::int64_t>& weights,
   }
 }
 
+/// Final hard-cap repair: maxImbalance is documented as a hard cap, but the
+/// recursive bisections only repair toward a per-level tolerance, so the
+/// k-way composition can overshoot. Drain the most-loaded part by moving its
+/// cheapest boundary vertices (never emptying a part) until the cap holds or
+/// no move lowers the maximum load. Returns the (possibly updated)
+/// assignment's evaluation; the caller surfaces any residual violation via
+/// PartitionResult::imbalanceViolated.
+PartitionResult repairImbalance(const Graph& graph, PartitionResult result,
+                                const PartitionOptions& options) {
+  const int parts = static_cast<int>(result.partLoad.size());
+  if (parts < 2) return result;
+  const int n = graph.numVertices();
+  std::vector<int>& part = result.assignment;
+  std::vector<std::int64_t> load = result.partLoad;
+  std::vector<int> count(static_cast<std::size_t>(parts), 0);
+  for (const int p : part) ++count[p];
+  const std::int64_t total = std::accumulate(load.begin(), load.end(), std::int64_t{0});
+  const double cap =
+      (1.0 + options.maxImbalance) * static_cast<double>(total) / static_cast<double>(parts);
+  bool changed = false;
+  for (int iter = 0; iter < 8 * n; ++iter) {
+    const int heavy = static_cast<int>(
+        std::max_element(load.begin(), load.end()) - load.begin());
+    if (static_cast<double>(load[heavy]) <= cap + 1e-9) break;
+    // Best (vertex, destination) move: must strictly lower the pair's max
+    // load; among those, smallest cut increase wins.
+    int bestV = -1;
+    int bestDest = -1;
+    std::int64_t bestGain = 0;
+    std::vector<std::int64_t> link(static_cast<std::size_t>(parts), 0);
+    for (int v = 0; v < n; ++v) {
+      if (part[v] != heavy || count[heavy] <= 1) continue;
+      std::fill(link.begin(), link.end(), std::int64_t{0});
+      std::int64_t degree = 0;
+      for (const int e : graph.incidentEdges(v)) {
+        const int u = graph.other(e, v);
+        degree += graph.edge(e).weight;
+        if (u != v) link[part[u]] += graph.edge(e).weight;
+      }
+      for (int dest = 0; dest < parts; ++dest) {
+        if (dest == heavy || load[dest] + degree >= load[heavy]) continue;
+        const std::int64_t gain = link[dest] - link[heavy];  // cut reduction
+        if (bestV == -1 || gain > bestGain) {
+          bestV = v;
+          bestDest = dest;
+          bestGain = gain;
+        }
+      }
+    }
+    if (bestV == -1) break;  // the heavy part cannot shed anything
+    std::int64_t degree = 0;
+    for (const int e : graph.incidentEdges(bestV)) degree += graph.edge(e).weight;
+    load[heavy] -= degree;
+    load[bestDest] += degree;
+    --count[heavy];
+    ++count[bestDest];
+    part[bestV] = bestDest;
+    changed = true;
+  }
+  if (!changed) return result;
+  return evaluateAssignment(graph, std::move(result.assignment), parts, options);
+}
+
+Result<PartitionResult> multilevelPartition(const Graph& graph,
+                                            const PartitionOptions& options) {
+  Rng rng(options.seed);
+  std::vector<int> assignment(static_cast<std::size_t>(graph.numVertices()), 0);
+  std::vector<int> vertexIds(static_cast<std::size_t>(graph.numVertices()));
+  std::iota(vertexIds.begin(), vertexIds.end(), 0);
+  kWay(graph, initialVertexWeights(graph), vertexIds, options.parts, 0, options, rng,
+       assignment);
+  PartitionResult result =
+      evaluateAssignment(graph, std::move(assignment), options.parts, options);
+  if (result.imbalanceViolated) result = repairImbalance(graph, std::move(result), options);
+  return result;
+}
+
 }  // namespace
+
+const char* partitionMethodName(PartitionMethod method) {
+  switch (method) {
+    case PartitionMethod::kMultilevel: return "multilevel";
+    case PartitionMethod::kLDG: return "ldg";
+    case PartitionMethod::kFennel: return "fennel";
+    case PartitionMethod::kHDRF: return "hdrf";
+    case PartitionMethod::kDBH: return "dbh";
+  }
+  return "unknown";
+}
 
 Result<PartitionResult> partitionGraph(const Graph& graph, const PartitionOptions& options) {
   if (options.parts < 1) return makeError("parts must be >= 1");
@@ -394,13 +540,10 @@ Result<PartitionResult> partitionGraph(const Graph& graph, const PartitionOption
     return makeError(strFormat("cannot split %d vertices into %d parts",
                                graph.numVertices(), options.parts));
   }
-  Rng rng(options.seed);
-  std::vector<int> assignment(static_cast<std::size_t>(graph.numVertices()), 0);
-  std::vector<int> vertexIds(static_cast<std::size_t>(graph.numVertices()));
-  std::iota(vertexIds.begin(), vertexIds.end(), 0);
-  kWay(graph, initialVertexWeights(graph), vertexIds, options.parts, 0, options, rng,
-       assignment);
-  return evaluateAssignment(graph, std::move(assignment), options.parts, options);
+  if (options.method != PartitionMethod::kMultilevel) {
+    return streamingPartitionOfGraph(graph, options);
+  }
+  return multilevelPartition(graph, options);
 }
 
 Result<PartitionResult> exactBisection(const Graph& graph, const PartitionOptions& options) {

@@ -23,17 +23,29 @@
 
 namespace sdt::partition {
 
+/// Which algorithm partitions the graph. kMultilevel is the METIS-style
+/// in-memory scheme below; the rest are single-shot streaming heuristics
+/// (O(parts) state plus a compact per-vertex table, see streaming.hpp) that
+/// scale to topologies too large to refine in memory. kLDG/kFennel stream
+/// vertices; kHDRF/kDBH stream edges and replicate cut vertices.
+enum class PartitionMethod { kMultilevel, kLDG, kFennel, kHDRF, kDBH };
+
+[[nodiscard]] const char* partitionMethodName(PartitionMethod method);
+
 struct PartitionOptions {
   int parts = 2;
   /// Objective weights (paper's alpha/beta).
   double alpha = 1.0;
   double beta = 4.0;
   /// Hard cap: no part's degree-load may exceed (1+maxImbalance) * ideal.
+  /// partitionGraph runs a final repair pass toward this cap and flags the
+  /// result (PartitionResult::imbalanceViolated) when the cap is infeasible.
   double maxImbalance = 0.35;
   std::uint64_t seed = 1;
   int refinementPasses = 8;
   /// Stop coarsening when at most this many vertices remain.
   int coarsenTarget = 24;
+  PartitionMethod method = PartitionMethod::kMultilevel;
 };
 
 struct PartitionResult {
@@ -42,12 +54,34 @@ struct PartitionResult {
   std::vector<std::int64_t> partLoad;    ///< degree-load (≈ ports) per part
   std::vector<std::int64_t> internalEdges;  ///< self-link count per part
   double objective = 0.0;                ///< alpha*cut + beta*sum(1/internal)
+  /// True when imbalance() exceeds options.maxImbalance — the documented
+  /// hard cap — even after repair (e.g. a single vertex's degree is above
+  /// the cap, as with a star hub). The assignment is still the best found;
+  /// callers that need the cap as a hard guarantee must check this.
+  bool imbalanceViolated = false;
 
   /// max(partLoad)/ideal - 1; 0 means perfectly balanced.
   [[nodiscard]] double imbalance() const;
 };
 
-/// Multilevel k-way partition. Fails if the graph is empty or parts < 1.
+/// The paper's balance term for one part, beta * 1/|E_i|, which diverges as
+/// |E_i| -> 0: a part with no internal edges (or no vertices at all) is an
+/// idle physical switch and must never beat a balanced split on cut savings
+/// alone. When beta > 0 such a part contributes a *dominating* penalty,
+/// sized so that any assignment with fewer internal-edge-free parts always
+/// scores strictly better than one with more (every finite objective is at
+/// most alpha*totalWeight + beta*parts). Shared by evaluateAssignment and
+/// the streaming evaluator so both algorithm families rank candidates
+/// identically.
+[[nodiscard]] double partBalancePenalty(std::int64_t internalWeight,
+                                        std::int64_t totalEdgeWeight, int parts,
+                                        const PartitionOptions& options);
+
+/// K-way partition. Dispatches on options.method: the multilevel scheme by
+/// default, or one of the streaming heuristics (the graph is replayed as an
+/// edge stream; see streaming.hpp for partitioning without materializing a
+/// Graph at all). Fails if the graph is empty or parts < 1. Every part is
+/// non-empty whenever parts <= numVertices.
 Result<PartitionResult> partitionGraph(const topo::Graph& graph,
                                        const PartitionOptions& options = {});
 

@@ -223,6 +223,7 @@ Result<Plant> planPlant(const std::vector<const topo::Topology*>& topologies,
       partition::PartitionOptions popt;
       popt.parts = parts;
       popt.seed = options.partitionSeed;
+      popt.method = options.partitionMethod;
       auto part = partition::partitionGraph(t->switchGraph(), popt);
       if (!part) {
         return makeError(strFormat("planPlant: cannot partition '%s': %s",

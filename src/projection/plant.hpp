@@ -14,6 +14,7 @@
 
 #include "common/result.hpp"
 #include "common/units.hpp"
+#include "partition/partitioner.hpp"
 #include "topo/topology.hpp"
 
 namespace sdt::projection {
@@ -140,6 +141,10 @@ struct PlanOptions {
   int slackInterLinks = 2;   ///< spare inter-switch links per pair
   int slackHostPorts = 1;    ///< spare host ports per switch
   std::uint64_t partitionSeed = 1;
+  /// How each topology is split over the switches: the in-memory multilevel
+  /// scheme by default, or a streaming heuristic (partition/streaming.hpp)
+  /// for warehouse-scale topologies.
+  partition::PartitionMethod partitionMethod = partition::PartitionMethod::kMultilevel;
 };
 
 Result<Plant> planPlant(const std::vector<const topo::Topology*>& topologies,

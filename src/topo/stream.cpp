@@ -1,0 +1,264 @@
+#include "topo/stream.hpp"
+
+#include <cassert>
+
+#include "common/strings.hpp"
+#include "topo/generators.hpp"
+#include "topo/zoo.hpp"
+
+namespace sdt::topo {
+
+namespace {
+
+/// Shared scratch for vertex-major replay: collects one vertex's incident
+/// list, emits it, and is reused for the next vertex.
+class VertexEmitter {
+ public:
+  explicit VertexEmitter(const std::function<void(const VertexRecord&)>& visit)
+      : visit_(visit) {}
+
+  void add(int neighbor, std::int64_t weight) {
+    neighbors_.push_back(neighbor);
+    weights_.push_back(weight);
+    degree_ += weight;
+  }
+
+  void emit(int v) {
+    visit_(VertexRecord{v, neighbors_, weights_, degree_});
+    neighbors_.clear();
+    weights_.clear();
+    degree_ = 0;
+  }
+
+ private:
+  const std::function<void(const VertexRecord&)>& visit_;
+  std::vector<int> neighbors_;
+  std::vector<std::int64_t> weights_;
+  std::int64_t degree_ = 0;
+};
+
+}  // namespace
+
+void EdgeStream::forEachVertex(
+    const std::function<void(const VertexRecord&)>& visit) const {
+  // Fallback for streams without a cheap neighborhood formula: buffer the
+  // adjacency once. Every stream in this file overrides with an O(degree)
+  // derivation instead; keep it that way for warehouse-scale sources.
+  std::vector<std::vector<std::pair<int, std::int64_t>>> adjacency(
+      static_cast<std::size_t>(numVertices()));
+  forEachEdge([&](int u, int v, std::int64_t w) {
+    adjacency[u].emplace_back(v, w);
+    if (u != v) adjacency[v].emplace_back(u, w);
+  });
+  VertexEmitter out(visit);
+  for (int v = 0; v < numVertices(); ++v) {
+    for (const auto& [u, w] : adjacency[v]) out.add(u, w);
+    out.emit(v);
+  }
+}
+
+GraphStream::GraphStream(const Graph& graph, std::string name)
+    : graph_(graph), name_(std::move(name)) {
+  for (const GraphEdge& e : graph_.edges()) totalWeight_ += e.weight;
+}
+
+void GraphStream::forEachEdge(
+    const std::function<void(int, int, std::int64_t)>& visit) const {
+  for (const GraphEdge& e : graph_.edges()) visit(e.u, e.v, e.weight);
+}
+
+void GraphStream::forEachVertex(
+    const std::function<void(const VertexRecord&)>& visit) const {
+  VertexEmitter out(visit);
+  for (int v = 0; v < graph_.numVertices(); ++v) {
+    for (const int e : graph_.incidentEdges(v)) {
+      out.add(graph_.other(e, v), graph_.edge(e).weight);
+    }
+    out.emit(v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FatTreeStream — vertex layout identical to makeFatTree: [0, k^2/4) cores;
+// then per pod: k/2 aggs, k/2 edge switches.
+
+FatTreeStream::FatTreeStream(int k) : k_(k) {
+  assert(k >= 2 && k % 2 == 0);
+}
+
+std::string FatTreeStream::name() const { return strFormat("fattree-k%d", k_); }
+
+int FatTreeStream::numVertices() const {
+  const int half = k_ / 2;
+  return half * half + k_ * k_;
+}
+
+std::int64_t FatTreeStream::numEdges() const {
+  // Each pod: (k/2)^2 agg-core links + (k/2)^2 edge-agg links.
+  const std::int64_t half = k_ / 2;
+  return 2 * static_cast<std::int64_t>(k_) * half * half;
+}
+
+void FatTreeStream::forEachEdge(
+    const std::function<void(int, int, std::int64_t)>& visit) const {
+  const int half = k_ / 2;
+  const int numCore = half * half;
+  const auto coreId = [&](int group, int idx) { return group * half + idx; };
+  const auto aggId = [&](int pod, int idx) { return numCore + pod * k_ + idx; };
+  const auto edgeId = [&](int pod, int idx) { return numCore + pod * k_ + half + idx; };
+  for (int pod = 0; pod < k_; ++pod) {
+    for (int a = 0; a < half; ++a) {
+      for (int c = 0; c < half; ++c) visit(aggId(pod, a), coreId(a, c), 1);
+    }
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) visit(edgeId(pod, e), aggId(pod, a), 1);
+    }
+  }
+}
+
+void FatTreeStream::forEachVertex(
+    const std::function<void(const VertexRecord&)>& visit) const {
+  const int half = k_ / 2;
+  const int numCore = half * half;
+  VertexEmitter out(visit);
+  // Core (group g, index c) peers with agg g of every pod.
+  for (int core = 0; core < numCore; ++core) {
+    const int group = core / half;
+    for (int pod = 0; pod < k_; ++pod) out.add(numCore + pod * k_ + group, 1);
+    out.emit(core);
+  }
+  for (int pod = 0; pod < k_; ++pod) {
+    for (int a = 0; a < half; ++a) {
+      // Agg a: its core group + every edge switch in the pod.
+      for (int c = 0; c < half; ++c) out.add(a * half + c, 1);
+      for (int e = 0; e < half; ++e) out.add(numCore + pod * k_ + half + e, 1);
+      out.emit(numCore + pod * k_ + a);
+    }
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) out.add(numCore + pod * k_ + a, 1);
+      out.emit(numCore + pod * k_ + half + e);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Torus3DStream — id = (z*yDim + y)*xDim + x, ring semantics identical to
+// makeGrid: a dimension of size 2 carries a single link, size 1 none.
+
+Torus3DStream::Torus3DStream(int xDim, int yDim, int zDim)
+    : x_(xDim), y_(yDim), z_(zDim) {
+  assert(xDim >= 2 && yDim >= 2 && zDim >= 2);
+}
+
+std::string Torus3DStream::name() const {
+  return strFormat("torus3d-%dx%dx%d", x_, y_, z_);
+}
+
+namespace {
+/// Links contributed by one ring of length `s` (makeGrid semantics).
+std::int64_t ringLinks(int s) { return s <= 1 ? 0 : (s == 2 ? 1 : s); }
+}  // namespace
+
+std::int64_t Torus3DStream::numEdges() const {
+  return ringLinks(x_) * y_ * z_ + ringLinks(y_) * x_ * z_ + ringLinks(z_) * x_ * y_;
+}
+
+void Torus3DStream::forEachEdge(
+    const std::function<void(int, int, std::int64_t)>& visit) const {
+  const MeshShape shape{x_, y_, z_};
+  const auto ring = [&](int dimSize, auto&& idAt) {
+    for (int i = 0; i + 1 < dimSize; ++i) visit(idAt(i), idAt(i + 1), 1);
+    if (dimSize > 2) visit(idAt(dimSize - 1), idAt(0), 1);
+  };
+  for (int z = 0; z < z_; ++z) {
+    for (int y = 0; y < y_; ++y) {
+      ring(x_, [&](int i) { return shape.index(i, y, z); });
+    }
+  }
+  for (int z = 0; z < z_; ++z) {
+    for (int x = 0; x < x_; ++x) {
+      ring(y_, [&](int i) { return shape.index(x, i, z); });
+    }
+  }
+  for (int y = 0; y < y_; ++y) {
+    for (int x = 0; x < x_; ++x) {
+      ring(z_, [&](int i) { return shape.index(x, y, i); });
+    }
+  }
+}
+
+void Torus3DStream::forEachVertex(
+    const std::function<void(const VertexRecord&)>& visit) const {
+  const MeshShape shape{x_, y_, z_};
+  VertexEmitter out(visit);
+  const auto addDim = [&](int c, int dimSize, auto&& idAt) {
+    if (dimSize == 2) {
+      out.add(idAt(1 - c), 1);  // single link, no wrap double-edge
+    } else if (dimSize > 2) {
+      out.add(idAt((c + 1) % dimSize), 1);
+      out.add(idAt((c + dimSize - 1) % dimSize), 1);
+    }
+  };
+  for (int v = 0; v < numVertices(); ++v) {
+    const int cx = shape.xOf(v), cy = shape.yOf(v), cz = shape.zOf(v);
+    addDim(cx, x_, [&](int i) { return shape.index(i, cy, cz); });
+    addDim(cy, y_, [&](int i) { return shape.index(cx, i, cz); });
+    addDim(cz, z_, [&](int i) { return shape.index(cx, cy, i); });
+    out.emit(v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ScaledZooStream — `copies` replicas of one zoo WAN, gateway ring through
+// each replica's switch 0.
+
+ScaledZooStream::ScaledZooStream(int zooIndex, int copies)
+    : zooIndex_(zooIndex), copies_(copies) {
+  assert(copies >= 1);
+  base_ = makeZooTopology(zooIndex).switchGraph();
+}
+
+std::string ScaledZooStream::name() const {
+  return strFormat("zoo%d-x%d", zooIndex_, copies_);
+}
+
+int ScaledZooStream::numVertices() const { return copies_ * base_.numVertices(); }
+
+std::int64_t ScaledZooStream::numEdges() const {
+  return static_cast<std::int64_t>(copies_) * base_.numEdges() + ringLinks(copies_);
+}
+
+void ScaledZooStream::forEachEdge(
+    const std::function<void(int, int, std::int64_t)>& visit) const {
+  const int n = base_.numVertices();
+  for (int copy = 0; copy < copies_; ++copy) {
+    const int offset = copy * n;
+    for (const GraphEdge& e : base_.edges()) visit(offset + e.u, offset + e.v, e.weight);
+  }
+  for (int copy = 0; copy + 1 < copies_; ++copy) visit(copy * n, (copy + 1) * n, 1);
+  if (copies_ > 2) visit((copies_ - 1) * n, 0, 1);
+}
+
+void ScaledZooStream::forEachVertex(
+    const std::function<void(const VertexRecord&)>& visit) const {
+  const int n = base_.numVertices();
+  VertexEmitter out(visit);
+  for (int v = 0; v < numVertices(); ++v) {
+    const int copy = v / n;
+    const int local = v % n;
+    for (const int e : base_.incidentEdges(local)) {
+      out.add(copy * n + base_.other(e, local), base_.edge(e).weight);
+    }
+    if (local == 0 && copies_ > 1) {
+      if (copies_ == 2) {
+        out.add((1 - copy) * n, 1);
+      } else {
+        out.add(((copy + 1) % copies_) * n, 1);
+        out.add(((copy + copies_ - 1) % copies_) * n, 1);
+      }
+    }
+    out.emit(v);
+  }
+}
+
+}  // namespace sdt::topo

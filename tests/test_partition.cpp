@@ -138,6 +138,106 @@ TEST(Partition, DeterministicForSeed) {
   EXPECT_EQ(a.value().assignment, b.value().assignment);
 }
 
+// Regression: evaluateAssignment used to score an empty part with a finite
+// 2.0 penalty, so on dense graphs (here K8) parking *everything* on one
+// physical switch scored 4*(1/28 + 2) ~ 8.1, beating the balanced split's
+// 16 + 4*(1/6 + 1/6) ~ 17.3 — an idle switch "won" on cut savings. The
+// paper's beta term 1/|E_i| diverges as |E_i| -> 0, so an internal-edge-free
+// part must carry a dominating penalty when beta > 0.
+TEST(Partition, EmptyPartCannotBeatBalancedSplit) {
+  Graph k8(8);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = i + 1; j < 8; ++j) k8.addEdge(i, j);
+  }
+  PartitionOptions opt{.parts = 2};
+  const auto emptySide = evaluateAssignment(k8, {0, 0, 0, 0, 0, 0, 0, 0}, 2, opt);
+  const auto balanced = evaluateAssignment(k8, {0, 0, 0, 0, 1, 1, 1, 1}, 2, opt);
+  EXPECT_GT(emptySide.objective, balanced.objective);
+  // The penalty dominates: one internal-edge-free part must outweigh the
+  // largest possible finite objective (cutting every edge).
+  std::vector<int> everyOther(8);
+  for (int i = 0; i < 8; ++i) everyOther[i] = i % 2;
+  const auto worstCut = evaluateAssignment(k8, std::move(everyOther), 2, opt);
+  EXPECT_GT(emptySide.objective, worstCut.objective);
+  // With beta == 0 the balance term is off and min-cut semantics remain.
+  PartitionOptions minCut{.parts = 2, .beta = 0.0};
+  const auto cutOnly = evaluateAssignment(k8, {0, 0, 0, 0, 0, 0, 0, 0}, 2, minCut);
+  EXPECT_DOUBLE_EQ(cutOnly.objective, 0.0);
+}
+
+// Regression: recursive kWay stranded parts empty on small/star graphs —
+// multilevelBisect balances *degree load*, so it can park every vertex on
+// one side (always, with beta == 0 disabling balance repair), and the
+// orphaned branch silently kept partLoad == 0. Every part must be non-empty
+// whenever parts <= numVertices.
+TEST(Partition, KWayNeverStrandsAPartEmpty) {
+  for (const int n : {3, 4, 5, 8}) {
+    Graph path(n), star(n);
+    for (int i = 0; i + 1 < n; ++i) path.addEdge(i, i + 1);
+    for (int i = 1; i < n; ++i) star.addEdge(0, i);
+    for (const Graph* g : {&path, &star}) {
+      for (const int parts : {2, 3}) {
+        if (parts > n) continue;
+        for (const double beta : {0.0, 4.0}) {
+          for (const double cap : {0.35, 10.0}) {
+            for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+              auto r = partitionGraph(
+                  *g, {.parts = parts, .beta = beta, .maxImbalance = cap, .seed = seed});
+              ASSERT_TRUE(r.ok());
+              std::vector<int> count(static_cast<std::size_t>(parts), 0);
+              for (const int p : r.value().assignment) ++count[p];
+              for (int p = 0; p < parts; ++p) {
+                EXPECT_GT(count[p], 0)
+                    << (g == &path ? "path" : "star") << n << " parts=" << parts
+                    << " beta=" << beta << " cap=" << cap << " seed=" << seed;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  // The weighted-star shape that previously stranded part 1 even with the
+  // default balanced objective (beta=4, cap 0.35 -> 0.3, seed 7).
+  Graph ws(5);
+  ws.addEdge(0, 1, 100);
+  ws.addEdge(0, 2, 1);
+  ws.addEdge(0, 3, 1);
+  ws.addEdge(0, 4, 1);
+  auto r = partitionGraph(ws, {.parts = 3, .maxImbalance = 0.3, .seed = 7});
+  ASSERT_TRUE(r.ok());
+  std::vector<int> count(3, 0);
+  for (const int p : r.value().assignment) ++count[p];
+  for (int p = 0; p < 3; ++p) EXPECT_GT(count[p], 0);
+}
+
+// Regression: maxImbalance is documented as a hard cap, but partitionGraph
+// only repaired bisections to a hard-coded 5% tolerance per level, so the
+// k-way composition could silently return e.g. 46.7% on star-16 at a 35%
+// cap. Now a final repair pass drains the heaviest part, and residual
+// violations (cap infeasible: the hub's degree alone exceeds it) are
+// surfaced via imbalanceViolated instead of ignored.
+TEST(Partition, HardImbalanceCapRepairedOrFlagged) {
+  const Graph star = topo::makeStar(16).switchGraph();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    PartitionOptions opt{.parts = 2, .seed = seed};
+    auto r = partitionGraph(star, opt);
+    ASSERT_TRUE(r.ok());
+    // Feasible at 2 parts (hub alone = exactly the ideal load): the repair
+    // pass must reach the cap, not just flag it.
+    EXPECT_LE(r.value().imbalance(), opt.maxImbalance + 1e-9) << "seed=" << seed;
+    EXPECT_FALSE(r.value().imbalanceViolated);
+  }
+  // At 3 parts the cap is infeasible: the hub part's load is >= 15 against
+  // an ideal of 10, so imbalance >= 50% always. The result must say so.
+  auto r3 = partitionGraph(star, {.parts = 3, .seed = 1});
+  ASSERT_TRUE(r3.ok());
+  EXPECT_GT(r3.value().imbalance(), 0.35);
+  EXPECT_TRUE(r3.value().imbalanceViolated);
+  // And the repair must have pushed to the floor, not given up early.
+  EXPECT_LE(r3.value().imbalance(), 0.5 + 1e-9);
+}
+
 TEST(Partition, BalanceObjectiveBeatsPureMinCutOnStar) {
   // Fig. 8: pure min-cut would slice off a leaf; the balanced objective
   // should keep parts comparable.
